@@ -1,0 +1,10 @@
+"""Shared settings for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at reduced
+scale (short simulated measurement windows) and prints the corresponding
+table so the output can be compared against the paper side by side.
+"""
+
+#: Simulated warmup and measurement durations used by every benchmark.
+WARMUP = 0.01
+DURATION = 0.03

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Key-value store evaluation: all five techniques under three workloads.
+
+Reproduces, at a reduced scale, the comparisons of paper sections VII-C,
+VII-D and VII-F: independent commands, dependent commands and a mixed
+workload around P-SMR's breakeven point.
+
+Run with:  python examples/kvstore_replication.py
+"""
+
+from repro.harness import format_table
+from repro.harness.experiments import (
+    run_fig3_independent,
+    run_fig4_dependent,
+    run_fig6_mixed,
+)
+
+
+def main():
+    print("Independent commands (Figure 3)")
+    fig3 = run_fig3_independent(duration=0.03)
+    print(fig3["text"])
+
+    print("\nDependent commands (Figure 4)")
+    fig4 = run_fig4_dependent(duration=0.03)
+    print(fig4["text"])
+
+    print("\nMixed workloads (Figure 6)")
+    fig6 = run_fig6_mixed(duration=0.03, percentages=(0.01, 1.0, 10.0))
+    print(fig6["text"])
+    print(
+        "measured breakeven:", fig6["measured_breakeven_percent"],
+        "% dependent commands (paper: about", fig6["paper_breakeven_percent"], "%)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments without the ``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

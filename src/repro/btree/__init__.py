@@ -1,0 +1,12 @@
+"""B+-tree — the key-value store's main data structure (paper section V-A).
+
+The paper's key-value store is backed by a B+-tree whose entries hold an
+8-byte integer key and an 8-byte value.  Reads and updates touch a single
+leaf entry, while inserts and deletes may restructure the tree (splitting
+and joining cells), which is exactly why the paper's C-Dep declares inserts
+and deletes dependent on every other command.
+"""
+
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree"]

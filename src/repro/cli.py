@@ -1,0 +1,89 @@
+"""Command-line interface for running the reproduction experiments.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli fig3 --duration 0.05
+    python -m repro.cli fig6 --duration 0.03 --seed 7
+    python -m repro.cli all --duration 0.03
+
+Each sub-command runs the corresponding experiment driver from
+:mod:`repro.harness.experiments` and prints the paper-style table.
+"""
+
+import argparse
+import sys
+
+from repro.harness.experiments import (
+    run_ablation_batch_size,
+    run_ablation_cg_granularity,
+    run_ablation_merge_policy,
+    run_fig3_independent,
+    run_fig4_dependent,
+    run_fig5_scalability,
+    run_fig6_mixed,
+    run_fig7_skew,
+    run_fig8_netfs,
+    run_table1,
+)
+
+#: Experiment name -> (driver, accepts timing kwargs).
+EXPERIMENTS = {
+    "table1": (run_table1, False),
+    "fig3": (run_fig3_independent, True),
+    "fig4": (run_fig4_dependent, True),
+    "fig5": (run_fig5_scalability, True),
+    "fig6": (run_fig6_mixed, True),
+    "fig7": (run_fig7_skew, False),
+    "fig8": (run_fig8_netfs, True),
+    "ablation-merge": (run_ablation_merge_policy, True),
+    "ablation-cg": (run_ablation_cg_granularity, True),
+    "ablation-batch": (run_ablation_batch_size, True),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Rethinking State-Machine "
+                    "Replication for Parallelism' (ICDCS 2014).",
+    )
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all", "list"],
+                        help="which table/figure to regenerate ('list' to enumerate)")
+    parser.add_argument("--warmup", type=float, default=0.015,
+                        help="simulated warmup before measuring, in seconds")
+    parser.add_argument("--duration", type=float, default=0.04,
+                        help="simulated measurement window, in seconds")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    return parser
+
+
+def run_experiment(name, warmup, duration, seed, stream=sys.stdout):
+    """Run one named experiment and print its table; return the result dict."""
+    driver, takes_timing = EXPERIMENTS[name]
+    if takes_timing:
+        result = driver(warmup=warmup, duration=duration, seed=seed)
+    elif name == "table1":
+        result = driver()
+    else:
+        result = driver(seed=seed)
+    print(result["text"], file=stream)
+    print("", file=stream)
+    return result
+
+
+def main(argv=None, stream=sys.stdout):
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name, file=stream)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, args.warmup, args.duration, args.seed, stream=stream)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

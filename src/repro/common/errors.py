@@ -1,0 +1,49 @@
+"""Exception hierarchy for the P-SMR reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a replication or consensus protocol invariant is violated."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors returned by replicated services."""
+
+
+class KeyNotFoundError(ServiceError):
+    """Raised by the key-value store when a key does not exist."""
+
+    def __init__(self, key):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class KeyAlreadyExistsError(ServiceError):
+    """Raised by the key-value store when inserting a duplicate key."""
+
+    def __init__(self, key):
+        super().__init__(f"key already exists: {key!r}")
+        self.key = key
+
+
+class FileSystemError(ServiceError):
+    """Raised by the in-memory file system; carries a POSIX-style errno name."""
+
+    def __init__(self, errno_name, message):
+        super().__init__(f"{errno_name}: {message}")
+        self.errno_name = errno_name
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation kernel detects misuse."""
+
+
+class LinearizabilityViolation(ReproError):
+    """Raised by the linearizability checker when no valid serialization exists."""

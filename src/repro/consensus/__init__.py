@@ -1,0 +1,43 @@
+"""Paxos-based consensus substrate (paper section VI-A).
+
+Each multicast group is backed by one Paxos instance sequence ("a Paxos
+instance per stream" in the paper's words): a coordinator (distinguished
+proposer), a configurable set of acceptors (three in the paper, tolerating
+one failure) and learners at every replica.  Commands are batched by the
+group's coordinator, and order is established on batches.
+
+The classes here are *pure* message-driven state machines: they consume a
+message and return the messages to send next, with no I/O, timers or
+threads.  The simulation runtime and the threaded runtime both drive them.
+"""
+
+from repro.consensus.messages import (
+    Prepare,
+    Promise,
+    Accept,
+    Accepted,
+    Nack,
+    Decision,
+    ClientValue,
+)
+from repro.consensus.acceptor import Acceptor
+from repro.consensus.coordinator import Coordinator
+from repro.consensus.learner import Learner
+from repro.consensus.log import InstanceLog
+from repro.consensus.batcher import Batcher, Batch
+
+__all__ = [
+    "Prepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Nack",
+    "Decision",
+    "ClientValue",
+    "Acceptor",
+    "Coordinator",
+    "Learner",
+    "InstanceLog",
+    "Batcher",
+    "Batch",
+]

@@ -1,0 +1,60 @@
+"""Paxos acceptor: the persistent voting role."""
+
+from repro.consensus.messages import Accept, Accepted, Nack, Prepare, Promise
+
+
+class Acceptor:
+    """A single acceptor participating in every instance of one group.
+
+    The acceptor keeps one promised ballot for the whole sequence
+    (multi-Paxos style) plus, per instance, the highest ballot it accepted
+    and the corresponding value.
+    """
+
+    def __init__(self, acceptor_id):
+        self.acceptor_id = acceptor_id
+        self.promised_ballot = None
+        # instance -> (ballot, value)
+        self.accepted = {}
+
+    def on_prepare(self, message: Prepare):
+        """Handle phase 1a; return the reply message."""
+        if self.promised_ballot is not None and message.ballot < self.promised_ballot:
+            return Nack(
+                ballot=message.ballot,
+                promised=self.promised_ballot,
+                instance=None,
+                sender=self.acceptor_id,
+            )
+        self.promised_ballot = message.ballot
+        return Promise(
+            ballot=message.ballot,
+            sender=self.acceptor_id,
+            accepted=dict(self.accepted),
+        )
+
+    def on_accept(self, message: Accept):
+        """Handle phase 2a; return Accepted or Nack."""
+        if self.promised_ballot is not None and message.ballot < self.promised_ballot:
+            return Nack(
+                ballot=message.ballot,
+                promised=self.promised_ballot,
+                instance=message.instance,
+                sender=self.acceptor_id,
+            )
+        self.promised_ballot = message.ballot
+        self.accepted[message.instance] = (message.ballot, message.value)
+        return Accepted(
+            ballot=message.ballot,
+            instance=message.instance,
+            value=message.value,
+            sender=self.acceptor_id,
+        )
+
+    def receive(self, message):
+        """Dispatch on the message type; return the reply."""
+        if isinstance(message, Prepare):
+            return self.on_prepare(message)
+        if isinstance(message, Accept):
+            return self.on_accept(message)
+        raise TypeError(f"acceptor cannot handle {type(message).__name__}")

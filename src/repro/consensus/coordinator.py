@@ -1,0 +1,135 @@
+"""Paxos coordinator: distinguished proposer and sequencer of one group.
+
+The coordinator runs phase 1 once for its ballot, then orders every value
+submitted to the group by assigning consecutive instance numbers and running
+phase 2.  When a quorum of acceptors accepts an instance, the coordinator
+emits a :class:`~repro.consensus.messages.Decision` for the learners.
+"""
+
+from repro.common.errors import ProtocolError
+from repro.consensus.messages import (
+    Accept,
+    Accepted,
+    Decision,
+    Nack,
+    Prepare,
+    Promise,
+)
+
+
+class Coordinator:
+    """Drives the ordering of values for a single multicast group."""
+
+    def __init__(self, coordinator_id, acceptor_ids, group_id=0, round_number=0):
+        if not acceptor_ids:
+            raise ProtocolError("a coordinator needs at least one acceptor")
+        self.coordinator_id = coordinator_id
+        self.group_id = group_id
+        self.acceptor_ids = list(acceptor_ids)
+        self.quorum = len(self.acceptor_ids) // 2 + 1
+        self.ballot = (round_number, coordinator_id)
+        self.phase1_complete = False
+        self._promises = {}
+        self._next_instance = 0
+        self._pending = {}  # instance -> {"value": v, "votes": set of acceptor ids}
+        self.decided = {}  # instance -> value
+
+    # ------------------------------------------------------------------
+    # Phase 1 (leadership)
+    # ------------------------------------------------------------------
+    def start_phase1(self):
+        """Return the Prepare messages to broadcast to every acceptor."""
+        self._promises = {}
+        return [Prepare(ballot=self.ballot, sender=self.coordinator_id)]
+
+    def on_promise(self, message: Promise):
+        """Record a promise; once a quorum promises, phase 1 completes.
+
+        Returns Accept messages needed to complete any instance some acceptor
+        had already accepted under a previous coordinator (value recovery).
+        """
+        if message.ballot != self.ballot:
+            return []
+        self._promises[message.sender] = message
+        if self.phase1_complete or len(self._promises) < self.quorum:
+            return []
+        self.phase1_complete = True
+        outbound = []
+        # Re-propose the highest-ballot accepted value of every instance seen.
+        recovered = {}
+        for promise in self._promises.values():
+            for instance, (ballot, value) in promise.accepted.items():
+                current = recovered.get(instance)
+                if current is None or ballot > current[0]:
+                    recovered[instance] = (ballot, value)
+        for instance, (_ballot, value) in sorted(recovered.items()):
+            self._next_instance = max(self._next_instance, instance + 1)
+            self._pending[instance] = {"value": value, "votes": set()}
+            outbound.append(
+                Accept(
+                    ballot=self.ballot,
+                    instance=instance,
+                    value=value,
+                    sender=self.coordinator_id,
+                )
+            )
+        return outbound
+
+    # ------------------------------------------------------------------
+    # Phase 2 (ordering values)
+    # ------------------------------------------------------------------
+    def propose(self, value):
+        """Assign the next instance to ``value``; return the Accept messages."""
+        if not self.phase1_complete:
+            raise ProtocolError("propose() before phase 1 completed")
+        instance = self._next_instance
+        self._next_instance += 1
+        self._pending[instance] = {"value": value, "votes": set()}
+        message = Accept(
+            ballot=self.ballot,
+            instance=instance,
+            value=value,
+            sender=self.coordinator_id,
+        )
+        return instance, [message]
+
+    def on_accepted(self, message: Accepted):
+        """Count a phase 2b vote; return a Decision once a quorum accepted."""
+        if message.ballot != self.ballot:
+            return []
+        state = self._pending.get(message.instance)
+        if state is None or message.instance in self.decided:
+            return []
+        state["votes"].add(message.sender)
+        if len(state["votes"]) < self.quorum:
+            return []
+        self.decided[message.instance] = state["value"]
+        del self._pending[message.instance]
+        return [
+            Decision(
+                instance=message.instance,
+                value=message.value,
+                group_id=self.group_id,
+            )
+        ]
+
+    def on_nack(self, message: Nack):
+        """A higher ballot exists: step up our ballot (leadership lost).
+
+        Returns the Prepare messages for a new phase 1 attempt.
+        """
+        if message.promised <= self.ballot:
+            return []
+        self.ballot = (message.promised[0] + 1, self.coordinator_id)
+        self.phase1_complete = False
+        return self.start_phase1()
+
+    def receive(self, message):
+        """Dispatch on message type; return outbound messages."""
+        if isinstance(message, Promise):
+            return self.on_promise(message)
+        if isinstance(message, Accepted):
+            return self.on_accepted(message)
+        if isinstance(message, Nack):
+            return self.on_nack(message)
+        raise TypeError(f"coordinator cannot handle {type(message).__name__}")

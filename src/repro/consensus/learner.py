@@ -1,0 +1,44 @@
+"""Paxos learner: learns decisions either from quorums of Accepted or Decisions."""
+
+from repro.consensus.messages import Accepted, Decision
+
+
+class Learner:
+    """Learns the decided value of each instance of one group.
+
+    A learner can observe phase 2b (:class:`Accepted`) traffic directly, in
+    which case it needs a quorum of matching votes, or consume
+    :class:`Decision` notifications from the coordinator (the configuration
+    the simulator uses, matching common Paxos deployments).
+    """
+
+    def __init__(self, num_acceptors):
+        self.quorum = num_acceptors // 2 + 1
+        self._votes = {}  # (instance, ballot) -> set of acceptor ids
+        self.learned = {}  # instance -> value
+
+    def on_accepted(self, message: Accepted):
+        """Count an acceptor vote; return the newly learned (instance, value) or None."""
+        if message.instance in self.learned:
+            return None
+        key = (message.instance, message.ballot)
+        votes = self._votes.setdefault(key, set())
+        votes.add(message.sender)
+        if len(votes) < self.quorum:
+            return None
+        self.learned[message.instance] = message.value
+        return message.instance, message.value
+
+    def on_decision(self, message: Decision):
+        """Record a coordinator decision; return (instance, value) if new."""
+        if message.instance in self.learned:
+            return None
+        self.learned[message.instance] = message.value
+        return message.instance, message.value
+
+    def receive(self, message):
+        if isinstance(message, Accepted):
+            return self.on_accepted(message)
+        if isinstance(message, Decision):
+            return self.on_decision(message)
+        raise TypeError(f"learner cannot handle {type(message).__name__}")

@@ -1,0 +1,36 @@
+"""In-order delivery of decided instances."""
+
+
+class InstanceLog:
+    """Buffers out-of-order decisions and releases them in instance order.
+
+    Paxos may decide instance ``i+1`` before ``i`` is known at a learner;
+    atomic multicast, however, must deliver in instance order.  ``append``
+    returns the (possibly empty) list of values that became deliverable.
+    """
+
+    def __init__(self):
+        self._buffer = {}
+        self._next_to_deliver = 0
+        self.delivered_count = 0
+
+    @property
+    def next_instance(self):
+        return self._next_to_deliver
+
+    @property
+    def pending(self):
+        """Number of decided-but-not-yet-deliverable instances."""
+        return len(self._buffer)
+
+    def append(self, instance, value):
+        """Record a decision; return values now deliverable in order."""
+        if instance < self._next_to_deliver or instance in self._buffer:
+            return []  # duplicate decision
+        self._buffer[instance] = value
+        deliverable = []
+        while self._next_to_deliver in self._buffer:
+            deliverable.append(self._buffer.pop(self._next_to_deliver))
+            self._next_to_deliver += 1
+        self.delivered_count += len(deliverable)
+        return deliverable

@@ -1,0 +1,80 @@
+"""Paxos protocol messages.
+
+Ballots are ``(round_number, proposer_id)`` tuples so that ballots from
+different proposers never tie; instance numbers identify consensus slots
+within a group's sequence.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+Ballot = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ClientValue:
+    """A value handed to the coordinator for ordering (usually a batch)."""
+
+    payload: Any
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase 1a: a proposer asks acceptors to promise a ballot."""
+
+    ballot: Ballot
+    sender: int
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase 1b: an acceptor promises not to accept lower ballots.
+
+    Carries the highest-ballot value already accepted for every instance the
+    acceptor knows about, so a new coordinator can complete interrupted
+    instances.
+    """
+
+    ballot: Ballot
+    sender: int
+    accepted: dict  # instance -> (ballot, value)
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase 2a: the coordinator asks acceptors to accept a value."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+    sender: int
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase 2b: an acceptor accepted a value for an instance."""
+
+    ballot: Ballot
+    instance: int
+    value: Any
+    sender: int
+
+
+@dataclass(frozen=True)
+class Nack:
+    """An acceptor rejects a message because it promised a higher ballot."""
+
+    ballot: Ballot
+    promised: Ballot
+    instance: Optional[int]
+    sender: int
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The coordinator (acting as a distinguished learner) announces a decision."""
+
+    instance: int
+    value: Any
+    group_id: int = 0

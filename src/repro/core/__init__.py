@@ -1,0 +1,44 @@
+"""P-SMR core: the paper's primary contribution (section IV).
+
+This package contains the runtime-agnostic pieces of Parallel State-Machine
+Replication:
+
+* the command model (:mod:`repro.core.command`);
+* command signatures and routing declarations
+  (:mod:`repro.core.descriptor`);
+* the command-dependency structure C-Dep (:mod:`repro.core.cdep`);
+* the Command-to-Groups function C-G compiled from C-Dep and the
+  multiprogramming level (:mod:`repro.core.cg`);
+* the worker-thread execution-mode logic — parallel vs. synchronous mode
+  with barriers (:mod:`repro.core.protocol`).
+
+The simulation runtime (:mod:`repro.replication.psmr`) and the threaded
+runtime (:mod:`repro.runtime`) both build their client/server proxies on top
+of these pieces.
+"""
+
+from repro.core.command import Command, Response
+from repro.core.descriptor import (
+    CommandDescriptor,
+    Serial,
+    Keyed,
+    Free,
+    ServiceSpec,
+)
+from repro.core.cdep import CDep
+from repro.core.cg import CGFunction
+from repro.core.protocol import ExecutionPlan, plan_execution
+
+__all__ = [
+    "Command",
+    "Response",
+    "CommandDescriptor",
+    "Serial",
+    "Keyed",
+    "Free",
+    "ServiceSpec",
+    "CDep",
+    "CGFunction",
+    "ExecutionPlan",
+    "plan_execution",
+]

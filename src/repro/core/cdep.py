@@ -1,0 +1,144 @@
+"""C-Dep: the command-dependency structure (paper sections IV-B and IV-C).
+
+Two commands are *dependent* if they access a common variable and at least
+one of them changes it; otherwise they are *independent* and may execute
+concurrently.  The paper encodes two levels of dependency information:
+
+* commands that depend on each other regardless of their parameters (e.g.
+  B+-tree inserts/deletes versus everything else);
+* commands that may depend on each other according to their parameters
+  (e.g. two updates on the same key).
+
+:class:`CDep` stores exactly that: unconditional pairs plus conditional
+pairs guarded by a predicate over the two invocations' arguments.  It can be
+populated by hand (as the paper's prototype does) or derived automatically
+from a :class:`~repro.core.descriptor.ServiceSpec`'s routing declarations.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.core.descriptor import Free, Keyed, Serial, ServiceSpec
+
+
+def _pair(a, b):
+    return (a, b) if a <= b else (b, a)
+
+
+class CDep:
+    """The command dependency table of a service."""
+
+    def __init__(self, command_names):
+        self.command_names = set(command_names)
+        if not self.command_names:
+            raise ConfigurationError("C-Dep needs at least one command")
+        self._always = set()
+        self._conditional = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _check(self, name):
+        if name not in self.command_names:
+            raise ConfigurationError(f"unknown command {name!r} in C-Dep")
+
+    def add_dependency(self, first, second):
+        """Declare that ``first`` and ``second`` always depend on each other."""
+        self._check(first)
+        self._check(second)
+        self._always.add(_pair(first, second))
+        return self
+
+    def add_conditional(self, first, second, predicate):
+        """Declare that ``first`` and ``second`` depend when ``predicate(args_a, args_b)``.
+
+        The predicate receives the argument dictionaries of the two
+        invocations, with the first argument belonging to ``first``.
+        """
+        self._check(first)
+        self._check(second)
+        key = _pair(first, second)
+        if key[0] == first:
+            self._conditional[key] = predicate
+        else:
+            self._conditional[key] = lambda b_args, a_args: predicate(a_args, b_args)
+        return self
+
+    def depends_on_all(self, name):
+        """Declare ``name`` dependent on every command (including itself)."""
+        self._check(name)
+        for other in self.command_names:
+            self._always.add(_pair(name, other))
+        return self
+
+    @classmethod
+    def from_service(cls, spec: ServiceSpec):
+        """Derive a C-Dep from the routing declarations of a service spec.
+
+        * a :class:`Serial` command depends on everything;
+        * two :class:`Keyed` commands in the same domain depend when their
+          conflict keys are equal and at least one writes;
+        * :class:`Free` commands depend on nothing.
+        """
+        cdep = cls(spec.command_names())
+        descriptors = list(spec)
+        for i, first in enumerate(descriptors):
+            for second in descriptors[i:]:
+                if isinstance(first.routing, Serial) or isinstance(second.routing, Serial):
+                    cdep._always.add(_pair(first.name, second.name))
+                    continue
+                if isinstance(first.routing, Free) or isinstance(second.routing, Free):
+                    continue
+                if not (first.writes or second.writes):
+                    continue
+                if first.routing.domain != second.routing.domain:
+                    # Different partitioning domains with a write: be
+                    # conservative and declare them always dependent.
+                    cdep._always.add(_pair(first.name, second.name))
+                    continue
+                cdep.add_conditional(
+                    first.name,
+                    second.name,
+                    _same_key_predicate(first, second),
+                )
+        return cdep
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def always_dependent(self, first, second):
+        """True when the pair is unconditionally dependent."""
+        self._check(first)
+        self._check(second)
+        return _pair(first, second) in self._always
+
+    def dependent(self, first, first_args, second, second_args):
+        """Evaluate whether two concrete invocations are dependent."""
+        self._check(first)
+        self._check(second)
+        key = _pair(first, second)
+        if key in self._always:
+            return True
+        predicate = self._conditional.get(key)
+        if predicate is None:
+            return False
+        if key[0] == first:
+            return bool(predicate(first_args, second_args))
+        return bool(predicate(second_args, first_args))
+
+    def independent(self, first, first_args, second, second_args):
+        return not self.dependent(first, first_args, second, second_args)
+
+    def pairs(self):
+        """Return (always, conditional) pair sets — useful for inspection and tests."""
+        return set(self._always), set(self._conditional)
+
+
+def _same_key_predicate(first_descriptor, second_descriptor):
+    """Build the 'same conflict key' predicate for two keyed descriptors."""
+
+    def predicate(first_args, second_args):
+        return (
+            first_descriptor.conflict_key(first_args)
+            == second_descriptor.conflict_key(second_args)
+        )
+
+    return predicate

@@ -1,0 +1,115 @@
+"""C-G: the Command-to-Groups function (paper section IV-C).
+
+The C-G function maps a command identifier and its input parameters to the
+set of multicast groups the request must be multicast to.  It is computed
+from the service's C-Dep (here: from the routing declarations that generate
+the C-Dep) and from the multiprogramming level, so that
+
+* independent commands are spread over different groups (maximising
+  concurrency), and
+* any two dependent commands share at least one destination group (so the
+  order property of atomic multicast, plus the barrier at the server proxy,
+  serialises them).
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRNG
+from repro.core.descriptor import Free, Keyed, Serial, ServiceSpec
+from repro.multicast.group import ALL_GROUPS
+
+
+class CGFunction:
+    """The compiled Command-to-Groups mapping for one service and one MPL."""
+
+    def __init__(self, spec: ServiceSpec, mpl, seed=0, coarse=False):
+        if mpl < 1:
+            raise ConfigurationError("multiprogramming level must be >= 1")
+        self.spec = spec
+        self.mpl = mpl
+        self.coarse = coarse
+        self._rng = SeededRNG(seed).child("cg", spec.name)
+        self._round_robin = 0
+        # Pre-built singleton destination sets, indexed by group id (1..mpl);
+        # building a frozenset per invocation would dominate the client proxy.
+        self._singletons = [None] + [frozenset({gid}) for gid in range(1, mpl + 1)]
+
+    # ------------------------------------------------------------------
+    # The mapping itself
+    # ------------------------------------------------------------------
+    def groups_for(self, name, args):
+        """Return the destination groups of an invocation.
+
+        The result is either :data:`~repro.multicast.group.ALL_GROUPS` or a
+        frozenset with a single group id in ``1..mpl``.
+        """
+        descriptor = self.spec.descriptor(name)
+        routing = descriptor.routing
+        if isinstance(routing, Serial):
+            return ALL_GROUPS
+        if isinstance(routing, Keyed):
+            if self.coarse and descriptor.writes:
+                # The paper's "simple C-Dep" example: any state-modifying
+                # command goes to every group, reads go to a random group.
+                return ALL_GROUPS
+            key = routing.extractor(args)
+            return self._singletons[self.group_of_key(key)]
+        # Free commands: balance over groups without constraining order.
+        return self._singletons[self._next_free_group()]
+
+    def group_of_key(self, key):
+        """The paper's keyed mapping: ``(key mod k) + 1``."""
+        return (self._stable_hash(key) % self.mpl) + 1
+
+    def _next_free_group(self):
+        if self.coarse:
+            return self._rng.randint(1, self.mpl)
+        self._round_robin = (self._round_robin % self.mpl) + 1
+        return self._round_robin
+
+    @staticmethod
+    def _stable_hash(key):
+        """A process-independent hash (``hash()`` is salted for strings)."""
+        if isinstance(key, int):
+            return key
+        if isinstance(key, (tuple, list)):
+            mixed = 0
+            for part in key:
+                mixed = mixed * 1000003 + CGFunction._stable_hash(part)
+            return mixed & 0x7FFFFFFF
+        mixed = 0
+        for ch in str(key):
+            mixed = (mixed * 131 + ord(ch)) & 0x7FFFFFFF
+        return mixed
+
+    # ------------------------------------------------------------------
+    # Validation against a C-Dep
+    # ------------------------------------------------------------------
+    def validate_against(self, cdep, sample_invocations):
+        """Check that every dependent pair of sample invocations shares a group.
+
+        ``sample_invocations`` is an iterable of ``(name, args)`` pairs.  This
+        is the structural property the C-G optimisation problem must satisfy
+        (section IV-C): dependent commands must have intersecting destination
+        sets.  Raises :class:`ConfigurationError` on violation.
+        """
+        samples = list(sample_invocations)
+        resolved = [
+            (name, args, self._as_set(self.groups_for(name, args)))
+            for name, args in samples
+        ]
+        for i, (name_a, args_a, groups_a) in enumerate(resolved):
+            for name_b, args_b, groups_b in resolved[i:]:
+                if not cdep.dependent(name_a, args_a, name_b, args_b):
+                    continue
+                if groups_a & groups_b:
+                    continue
+                raise ConfigurationError(
+                    "C-G violates C-Dep: dependent invocations "
+                    f"{name_a}{args_a} and {name_b}{args_b} share no group"
+                )
+        return True
+
+    def _as_set(self, groups):
+        if groups == ALL_GROUPS:
+            return frozenset(range(1, self.mpl + 1))
+        return frozenset(groups)

@@ -1,0 +1,10 @@
+"""In-memory file system used by the NetFS service (paper sections V-B, VI-C).
+
+Implements the subset of FUSE calls the paper's NetFS exposes: enough to
+manipulate files and directories (no soft or hard links), with a per-server
+file-descriptor table shared by all worker threads.
+"""
+
+from repro.fs.memfs import MemoryFileSystem, Stat
+
+__all__ = ["MemoryFileSystem", "Stat"]

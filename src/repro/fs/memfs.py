@@ -1,0 +1,297 @@
+"""A deterministic in-memory POSIX-like file system.
+
+The file system is the replicated state machine behind NetFS.  Every call
+is deterministic given the current state and its arguments (time stamps are
+supplied by the caller rather than read from a wall clock), which is what
+state-machine replication requires.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FileSystemError
+
+
+@dataclass
+class Stat:
+    """A small subset of ``struct stat`` sufficient for NetFS clients."""
+
+    is_dir: bool
+    size: int
+    mode: int
+    nlink: int
+    atime: float
+    mtime: float
+
+
+@dataclass
+class _Inode:
+    is_dir: bool
+    mode: int
+    atime: float = 0.0
+    mtime: float = 0.0
+    data: bytearray = field(default_factory=bytearray)
+    entries: dict = field(default_factory=dict)
+
+
+def split_path(path):
+    """Normalise ``path`` into a list of components; raise on invalid paths."""
+    if not path or not path.startswith("/"):
+        raise FileSystemError("EINVAL", f"path must be absolute: {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise FileSystemError("EINVAL", "'.' and '..' are not supported")
+    return parts
+
+
+class MemoryFileSystem:
+    """An in-memory tree of directories and regular files plus an fd table.
+
+    The file-descriptor table mirrors the paper's NetFS servers, where each
+    client-visible descriptor maps to a local descriptor via a hash table
+    shared by every worker thread (the reason ``open``/``release`` depend on
+    all commands in the C-Dep).
+    """
+
+    def __init__(self):
+        self._root = _Inode(is_dir=True, mode=0o755)
+        self._fd_table = {}
+        self._next_fd = 3  # 0-2 reserved, as on POSIX systems
+
+    # ------------------------------------------------------------------
+    # Path resolution helpers
+    # ------------------------------------------------------------------
+    def _lookup(self, path):
+        node = self._root
+        for part in split_path(path):
+            if not node.is_dir:
+                raise FileSystemError("ENOTDIR", f"not a directory on the way to {path}")
+            child = node.entries.get(part)
+            if child is None:
+                raise FileSystemError("ENOENT", f"no such file or directory: {path}")
+            node = child
+        return node
+
+    def _lookup_parent(self, path):
+        parts = split_path(path)
+        if not parts:
+            raise FileSystemError("EINVAL", "operation on the root directory")
+        node = self._root
+        for part in parts[:-1]:
+            child = node.entries.get(part)
+            if child is None:
+                raise FileSystemError("ENOENT", f"missing parent component of {path}")
+            if not child.is_dir:
+                raise FileSystemError("ENOTDIR", f"parent is not a directory: {path}")
+            node = child
+        return node, parts[-1]
+
+    def exists(self, path):
+        """Return whether ``path`` resolves to a file or directory."""
+        try:
+            self._lookup(path)
+            return True
+        except FileSystemError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Structure-changing calls (depend on all commands in NetFS's C-Dep)
+    # ------------------------------------------------------------------
+    def create(self, path, mode=0o644, now=0.0):
+        """Create a regular file and return a file descriptor opened on it."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise FileSystemError("EEXIST", f"file exists: {path}")
+        inode = _Inode(is_dir=False, mode=mode, atime=now, mtime=now)
+        parent.entries[name] = inode
+        parent.mtime = now
+        return self._allocate_fd(inode)
+
+    def mknod(self, path, mode=0o644, now=0.0):
+        """Create a regular file without opening it."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise FileSystemError("EEXIST", f"file exists: {path}")
+        parent.entries[name] = _Inode(is_dir=False, mode=mode, atime=now, mtime=now)
+        parent.mtime = now
+        return 0
+
+    def mkdir(self, path, mode=0o755, now=0.0):
+        """Create a directory."""
+        parent, name = self._lookup_parent(path)
+        if name in parent.entries:
+            raise FileSystemError("EEXIST", f"file exists: {path}")
+        parent.entries[name] = _Inode(is_dir=True, mode=mode, atime=now, mtime=now)
+        parent.mtime = now
+        return 0
+
+    def unlink(self, path, now=0.0):
+        """Remove a regular file."""
+        parent, name = self._lookup_parent(path)
+        inode = parent.entries.get(name)
+        if inode is None:
+            raise FileSystemError("ENOENT", f"no such file: {path}")
+        if inode.is_dir:
+            raise FileSystemError("EISDIR", f"is a directory: {path}")
+        del parent.entries[name]
+        parent.mtime = now
+        return 0
+
+    def rmdir(self, path, now=0.0):
+        """Remove an empty directory."""
+        parent, name = self._lookup_parent(path)
+        inode = parent.entries.get(name)
+        if inode is None:
+            raise FileSystemError("ENOENT", f"no such directory: {path}")
+        if not inode.is_dir:
+            raise FileSystemError("ENOTDIR", f"not a directory: {path}")
+        if inode.entries:
+            raise FileSystemError("ENOTEMPTY", f"directory not empty: {path}")
+        del parent.entries[name]
+        parent.mtime = now
+        return 0
+
+    def utimens(self, path, atime, mtime):
+        """Set access and modification times."""
+        inode = self._lookup(path)
+        inode.atime = atime
+        inode.mtime = mtime
+        return 0
+
+    # ------------------------------------------------------------------
+    # File-descriptor calls
+    # ------------------------------------------------------------------
+    def _allocate_fd(self, inode):
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fd_table[fd] = inode
+        return fd
+
+    def open(self, path, now=0.0):
+        """Open an existing regular file and return a descriptor."""
+        inode = self._lookup(path)
+        if inode.is_dir:
+            raise FileSystemError("EISDIR", f"is a directory: {path}")
+        inode.atime = now
+        return self._allocate_fd(inode)
+
+    def opendir(self, path, now=0.0):
+        """Open a directory and return a descriptor."""
+        inode = self._lookup(path)
+        if not inode.is_dir:
+            raise FileSystemError("ENOTDIR", f"not a directory: {path}")
+        inode.atime = now
+        return self._allocate_fd(inode)
+
+    def release(self, fd):
+        """Close a file descriptor."""
+        if fd not in self._fd_table:
+            raise FileSystemError("EBADF", f"bad file descriptor: {fd}")
+        del self._fd_table[fd]
+        return 0
+
+    releasedir = release
+
+    def open_descriptors(self):
+        """Return the currently open descriptors (for tests and invariants)."""
+        return sorted(self._fd_table)
+
+    # ------------------------------------------------------------------
+    # Data calls (path-dependent in NetFS's C-Dep)
+    # ------------------------------------------------------------------
+    def _data_inode(self, path=None, fd=None):
+        if fd is not None:
+            inode = self._fd_table.get(fd)
+            if inode is None:
+                raise FileSystemError("EBADF", f"bad file descriptor: {fd}")
+            return inode
+        return self._lookup(path)
+
+    def read(self, path=None, size=4096, offset=0, fd=None, now=0.0):
+        """Read ``size`` bytes at ``offset`` from a file (by path or descriptor)."""
+        inode = self._data_inode(path, fd)
+        if inode.is_dir:
+            raise FileSystemError("EISDIR", "cannot read a directory")
+        inode.atime = now
+        return bytes(inode.data[offset:offset + size])
+
+    def write(self, path=None, data=b"", offset=0, fd=None, now=0.0):
+        """Write ``data`` at ``offset``, zero-filling any gap; return bytes written."""
+        inode = self._data_inode(path, fd)
+        if inode.is_dir:
+            raise FileSystemError("EISDIR", "cannot write a directory")
+        data = bytes(data)
+        end = offset + len(data)
+        if len(inode.data) < offset:
+            inode.data.extend(b"\x00" * (offset - len(inode.data)))
+        inode.data[offset:end] = data
+        inode.mtime = now
+        return len(data)
+
+    def truncate(self, path, length, now=0.0):
+        """Truncate or extend a file to ``length`` bytes."""
+        inode = self._lookup(path)
+        if inode.is_dir:
+            raise FileSystemError("EISDIR", "cannot truncate a directory")
+        if len(inode.data) > length:
+            del inode.data[length:]
+        else:
+            inode.data.extend(b"\x00" * (length - len(inode.data)))
+        inode.mtime = now
+        return 0
+
+    # ------------------------------------------------------------------
+    # Metadata calls
+    # ------------------------------------------------------------------
+    def lstat(self, path):
+        """Return a :class:`Stat` for ``path``."""
+        inode = self._lookup(path)
+        return Stat(
+            is_dir=inode.is_dir,
+            size=len(inode.data) if not inode.is_dir else 0,
+            mode=inode.mode,
+            nlink=2 + len(inode.entries) if inode.is_dir else 1,
+            atime=inode.atime,
+            mtime=inode.mtime,
+        )
+
+    getattr_ = lstat
+
+    def access(self, path, mode=0):
+        """Return 0 when ``path`` exists (permission bits are not enforced)."""
+        self._lookup(path)
+        return 0
+
+    def readdir(self, path):
+        """Return the sorted entry names of a directory (plus '.' and '..')."""
+        inode = self._lookup(path)
+        if not inode.is_dir:
+            raise FileSystemError("ENOTDIR", f"not a directory: {path}")
+        return [".", ".."] + sorted(inode.entries)
+
+    # ------------------------------------------------------------------
+    # Whole-tree helpers used by tests
+    # ------------------------------------------------------------------
+    def tree_snapshot(self):
+        """Return a nested dict describing the whole tree (for replica comparison).
+
+        Open descriptors are intentionally excluded: they are session state,
+        not replicated service state.
+        """
+
+        def describe(inode):
+            if inode.is_dir:
+                return {name: describe(child) for name, child in sorted(inode.entries.items())}
+            return bytes(inode.data)
+
+        return describe(self._root)
+
+    def file_count(self):
+        """Return the total number of files and directories (excluding the root)."""
+
+        def count(inode):
+            if not inode.is_dir:
+                return 1
+            return 1 + sum(count(child) for child in inode.entries.values())
+
+        return count(self._root) - 1

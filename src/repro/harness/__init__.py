@@ -1,0 +1,26 @@
+"""Experiment harness: one driver per table/figure of the paper's evaluation.
+
+Every driver returns a plain dict with the measured rows plus the paper's
+reference values, and the benchmarks under ``benchmarks/`` simply invoke a
+driver and print its table.  The drivers default to short simulated windows
+so a full reproduction run stays fast; pass larger ``duration`` values for
+tighter confidence.
+"""
+
+from repro.harness.runner import (
+    build_kv_system,
+    build_netfs_system,
+    run_kv_technique,
+    run_netfs_technique,
+    default_clients,
+)
+from repro.harness.tables import format_table
+
+__all__ = [
+    "build_kv_system",
+    "build_netfs_system",
+    "run_kv_technique",
+    "run_netfs_technique",
+    "default_clients",
+    "format_table",
+]

@@ -1,0 +1,105 @@
+"""Ablation studies of design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify the impact of three design
+decisions in the P-SMR prototype:
+
+* the deterministic-merge policy used by worker threads that consume
+  several streams (timestamp merge vs. Multi-Ring-Paxos-style round robin);
+* the granularity of the C-G function (the paper's per-key mapping vs. the
+  coarse "writes go everywhere" mapping of section IV-C's first example);
+* the multicast batch size (the paper uses 8 KB batches).
+"""
+
+from repro.harness.runner import DEFAULT_DURATION, DEFAULT_WARMUP, run_kv_technique
+from repro.harness.tables import format_table
+from repro.workload import READ_ONLY_MIX, skewed_update_mix
+
+
+def run_ablation_merge_policy(warmup=DEFAULT_WARMUP, duration=DEFAULT_DURATION, seed=1,
+                              threads=4):
+    """Compare merge policies for P-SMR under an independent workload."""
+    rows = []
+    for policy in ("timestamp", "round_robin"):
+        result = run_kv_technique(
+            "P-SMR", threads, mix=READ_ONLY_MIX, merge_policy=policy,
+            warmup=warmup, duration=duration, seed=seed,
+        )
+        rows.append({
+            "merge_policy": policy,
+            "threads": threads,
+            "throughput_kcps": round(result.throughput_kcps, 1),
+            "avg_latency_ms": round(result.avg_latency_ms, 3),
+        })
+    return {
+        "ablation": "merge-policy",
+        "rows": rows,
+        "text": format_table(
+            rows,
+            columns=["merge_policy", "threads", "throughput_kcps", "avg_latency_ms"],
+            title="Ablation - deterministic merge policy (P-SMR, read-only)",
+        ),
+    }
+
+
+def run_ablation_cg_granularity(warmup=DEFAULT_WARMUP, duration=DEFAULT_DURATION, seed=1,
+                                threads=8):
+    """Compare the keyed C-G against the coarse C-G of section IV-C.
+
+    With the coarse mapping every update is multicast to all groups, so a
+    50% update workload behaves like a dependent-dominated one.
+    """
+    rows = []
+    for coarse, label in ((False, "per-key C-G"), (True, "coarse C-G")):
+        result = run_kv_technique(
+            "P-SMR", threads, mix=skewed_update_mix(), coarse_cg=coarse,
+            warmup=warmup, duration=duration, seed=seed,
+        )
+        rows.append({
+            "cg": label,
+            "threads": threads,
+            "throughput_kcps": round(result.throughput_kcps, 1),
+            "avg_latency_ms": round(result.avg_latency_ms, 3),
+        })
+    return {
+        "ablation": "cg-granularity",
+        "rows": rows,
+        "text": format_table(
+            rows,
+            columns=["cg", "threads", "throughput_kcps", "avg_latency_ms"],
+            title="Ablation - C-G granularity (P-SMR, 50% updates)",
+        ),
+    }
+
+
+def run_ablation_batch_size(warmup=DEFAULT_WARMUP, duration=DEFAULT_DURATION, seed=1,
+                            technique="SMR", threads=1,
+                            sizes=(64, 8 * 1024, 64 * 1024)):
+    """Compare multicast batch sizes (the paper's prototype uses 8 KB).
+
+    The effect shows where a single ordered stream carries the whole load
+    (classic SMR, or equivalently any one P-SMR group): with tiny batches
+    the group coordinator pays a proposal per handful of commands and caps
+    the ordering layer below what a replica thread can execute.
+    """
+    rows = []
+    for size in sizes:
+        result = run_kv_technique(
+            technique, threads, mix=READ_ONLY_MIX, batch_max_bytes=size,
+            warmup=warmup, duration=duration, seed=seed,
+        )
+        rows.append({
+            "batch_bytes": size,
+            "technique": technique,
+            "threads": threads,
+            "throughput_kcps": round(result.throughput_kcps, 1),
+            "avg_latency_ms": round(result.avg_latency_ms, 3),
+        })
+    return {
+        "ablation": "batch-size",
+        "rows": rows,
+        "text": format_table(
+            rows,
+            columns=["batch_bytes", "technique", "threads", "throughput_kcps", "avg_latency_ms"],
+            title="Ablation - multicast batch size (single ordered stream, read-only)",
+        ),
+    }

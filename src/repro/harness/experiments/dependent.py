@@ -1,0 +1,56 @@
+"""Figure 4: performance of dependent commands (insert/delete-only workload).
+
+The paper obtains these numbers with 1 thread for every technique except
+BDB (4 threads): with dependent-only commands extra threads only add
+synchronisation overhead.
+"""
+
+from repro.harness.runner import DEFAULT_DURATION, DEFAULT_WARMUP, run_kv_technique
+from repro.harness.tables import format_table
+from repro.workload import DEPENDENT_ONLY_MIX
+
+#: Thread counts of the paper's configuration for Figure 4.
+FIG4_THREADS = {"no-rep": 1, "SMR": 1, "sP-SMR": 1, "P-SMR": 1, "BDB": 4}
+
+#: Throughput relative to SMR reported by the paper (Figure 4, top-left).
+PAPER_FACTORS = {"no-rep": 0.32, "SMR": 1.0, "sP-SMR": 0.28, "P-SMR": 0.5, "BDB": 0.12}
+
+
+def run_fig4_dependent(warmup=DEFAULT_WARMUP, duration=DEFAULT_DURATION, seed=1,
+                       techniques=None):
+    """Run the dependent-commands comparison; return rows plus paper factors."""
+    techniques = techniques or list(FIG4_THREADS)
+    results = {}
+    for technique in techniques:
+        results[technique] = run_kv_technique(
+            technique,
+            FIG4_THREADS[technique],
+            mix=DEPENDENT_ONLY_MIX,
+            warmup=warmup,
+            duration=duration,
+            seed=seed,
+        )
+    smr_kcps = results.get("SMR").throughput_kcps if "SMR" in results else None
+    rows = []
+    for technique in techniques:
+        result = results[technique]
+        row = result.as_row()
+        row["factor_vs_SMR"] = (
+            round(result.throughput_kcps / smr_kcps, 2) if smr_kcps else None
+        )
+        row["paper_factor"] = PAPER_FACTORS[technique]
+        rows.append(row)
+    return {
+        "figure": "4",
+        "rows": rows,
+        "results": results,
+        "latency_cdfs": {t: results[t].latency_cdf for t in techniques},
+        "text": format_table(
+            rows,
+            columns=[
+                "technique", "threads", "throughput_kcps", "factor_vs_SMR",
+                "paper_factor", "avg_latency_ms", "cpu_percent",
+            ],
+            title="Figure 4 - dependent commands (insert/delete workload)",
+        ),
+    }

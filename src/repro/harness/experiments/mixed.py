@@ -1,0 +1,63 @@
+"""Figure 6: performance of mixed workloads (P-SMR's breakeven point).
+
+The workload mixes reads with a varying percentage of inserts/deletes; the
+x-axis is the percentage of dependent commands (log scale, 0.001% .. 10%).
+P-SMR runs with 8 worker threads and is compared against SMR, the technique
+with no synchronisation overhead.  The paper finds P-SMR stays ahead of SMR
+up to roughly 10% dependent commands.
+"""
+
+from repro.harness.runner import DEFAULT_DURATION, DEFAULT_WARMUP, run_kv_technique
+from repro.harness.tables import format_table
+from repro.workload import mixed_workload
+
+#: Percentages of dependent commands on the paper's log-scale x-axis.
+FIG6_PERCENTAGES = (0.001, 0.01, 0.1, 1.0, 5.0, 10.0)
+
+#: The paper's finding: the breakeven point is at about this percentage.
+PAPER_BREAKEVEN_PERCENT = 10.0
+
+
+def run_fig6_mixed(
+    warmup=DEFAULT_WARMUP,
+    duration=DEFAULT_DURATION,
+    seed=1,
+    percentages=FIG6_PERCENTAGES,
+    psmr_threads=8,
+):
+    """Sweep the dependent-command percentage for P-SMR(8) and SMR."""
+    smr_reference = run_kv_technique(
+        "SMR", 1, mix=mixed_workload(0.0), warmup=warmup, duration=duration, seed=seed
+    )
+    rows = []
+    breakeven = None
+    for percent in percentages:
+        mix = mixed_workload(percent / 100.0)
+        psmr = run_kv_technique(
+            "P-SMR", psmr_threads, mix=mix, warmup=warmup, duration=duration, seed=seed
+        )
+        row = {
+            "dependent_percent": percent,
+            "psmr_kcps": round(psmr.throughput_kcps, 1),
+            "smr_kcps": round(smr_reference.throughput_kcps, 1),
+            "psmr_latency_ms": round(psmr.avg_latency_ms, 3),
+            "smr_latency_ms": round(smr_reference.avg_latency_ms, 3),
+            "psmr_ahead": psmr.throughput_kcps > smr_reference.throughput_kcps,
+        }
+        rows.append(row)
+        if row["psmr_ahead"]:
+            breakeven = percent
+    return {
+        "figure": "6",
+        "rows": rows,
+        "measured_breakeven_percent": breakeven,
+        "paper_breakeven_percent": PAPER_BREAKEVEN_PERCENT,
+        "text": format_table(
+            rows,
+            columns=[
+                "dependent_percent", "psmr_kcps", "smr_kcps", "psmr_ahead",
+                "psmr_latency_ms", "smr_latency_ms",
+            ],
+            title="Figure 6 - mixed workloads (percentage of dependent commands)",
+        ),
+    }

@@ -1,0 +1,73 @@
+"""Figure 8: NetFS performance (read-only and write-only workloads).
+
+Each request reads or writes 1024 bytes of a file; requests are compressed
+by the client and decompressed by the executing worker thread (lz4 in the
+paper).  P-SMR uses 8 path ranges (one per worker thread) plus one group
+for serialised requests; sP-SMR uses 8 workers behind its scheduler; SMR is
+single-threaded.
+"""
+
+from repro.harness.runner import DEFAULT_DURATION, DEFAULT_WARMUP, run_netfs_technique
+from repro.harness.tables import format_table
+
+FIG8_THREADS = {"SMR": 1, "sP-SMR": 8, "P-SMR": 8}
+
+#: Improvement factors over SMR reported by the paper (Figure 8).
+PAPER_FACTORS = {
+    "read": {"SMR": 1.0, "sP-SMR": 1.07, "P-SMR": 3.13},
+    "write": {"SMR": 1.0, "sP-SMR": 1.04, "P-SMR": 2.97},
+}
+
+#: Absolute throughput the paper reports (Kcps), for reference in the output.
+PAPER_KCPS = {
+    "read": {"SMR": 100, "sP-SMR": 116, "P-SMR": 309},
+    "write": {"SMR": 110, "sP-SMR": 116, "P-SMR": 327},
+}
+
+
+def run_fig8_netfs(warmup=DEFAULT_WARMUP, duration=DEFAULT_DURATION, seed=1,
+                   operations=("read", "write"), techniques=None):
+    """Run the NetFS read and write experiments for SMR, sP-SMR and P-SMR."""
+    techniques = techniques or list(FIG8_THREADS)
+    rows = []
+    results = {}
+    for operation in operations:
+        smr_kcps = None
+        for technique in techniques:
+            result = run_netfs_technique(
+                technique,
+                FIG8_THREADS[technique],
+                operation=operation,
+                warmup=warmup,
+                duration=duration,
+                seed=seed,
+            )
+            results[(operation, technique)] = result
+            if technique == "SMR":
+                smr_kcps = result.throughput_kcps
+            row = {
+                "operation": operation,
+                "technique": technique,
+                "threads": FIG8_THREADS[technique],
+                "throughput_kcps": round(result.throughput_kcps, 1),
+                "factor_vs_SMR": (
+                    round(result.throughput_kcps / smr_kcps, 2) if smr_kcps else None
+                ),
+                "paper_factor": PAPER_FACTORS[operation][technique],
+                "paper_kcps": PAPER_KCPS[operation][technique],
+                "avg_latency_ms": round(result.avg_latency_ms, 3),
+            }
+            rows.append(row)
+    return {
+        "figure": "8",
+        "rows": rows,
+        "results": results,
+        "text": format_table(
+            rows,
+            columns=[
+                "operation", "technique", "threads", "throughput_kcps",
+                "factor_vs_SMR", "paper_factor", "paper_kcps", "avg_latency_ms",
+            ],
+            title="Figure 8 - NetFS read and write performance",
+        ),
+    }

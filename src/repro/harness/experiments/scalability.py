@@ -1,0 +1,77 @@
+"""Figure 5: throughput versus number of worker threads.
+
+Two workloads (independent-only and dependent-only); for each technique and
+thread count the absolute peak throughput and the normalised per-thread
+throughput (relative to that technique's single-thread throughput) are
+reported, as in the paper's top/bottom graph pairs.
+"""
+
+from repro.harness.runner import DEFAULT_DURATION, DEFAULT_WARMUP, run_kv_technique
+from repro.harness.tables import format_table
+from repro.workload import DEPENDENT_ONLY_MIX, READ_ONLY_MIX
+
+#: Techniques shown in Figure 5 (SMR is single-threaded by definition).
+FIG5_TECHNIQUES = ("no-rep", "sP-SMR", "P-SMR", "BDB")
+FIG5_THREADS = (1, 2, 4, 6, 8)
+
+#: Expectations from the paper (section VII-E), used by the benchmark checks.
+PAPER_EXPECTATIONS = {
+    "independent": "only P-SMR keeps improving as threads are added",
+    "dependent": "every technique except BDB degrades as threads are added",
+}
+
+
+def run_fig5_scalability(
+    warmup=DEFAULT_WARMUP,
+    duration=DEFAULT_DURATION,
+    seed=1,
+    techniques=FIG5_TECHNIQUES,
+    thread_counts=FIG5_THREADS,
+    workloads=("independent", "dependent"),
+):
+    """Sweep thread counts for both workloads; return absolute and normalised rows."""
+    mixes = {"independent": READ_ONLY_MIX, "dependent": DEPENDENT_ONLY_MIX}
+    rows = []
+    series = {}
+    for workload in workloads:
+        for technique in techniques:
+            base_kcps = None
+            for threads in thread_counts:
+                result = run_kv_technique(
+                    technique,
+                    threads,
+                    mix=mixes[workload],
+                    warmup=warmup,
+                    duration=duration,
+                    seed=seed,
+                )
+                if threads == thread_counts[0]:
+                    base_kcps = result.throughput_kcps / max(1, threads)
+                per_thread = result.throughput_kcps / threads
+                normalized = per_thread / base_kcps if base_kcps else 0.0
+                row = {
+                    "workload": workload,
+                    "technique": technique,
+                    "threads": threads,
+                    "throughput_kcps": round(result.throughput_kcps, 1),
+                    "per_thread_normalized": round(normalized, 3),
+                    "avg_latency_ms": round(result.avg_latency_ms, 3),
+                }
+                rows.append(row)
+                series.setdefault((workload, technique), []).append(
+                    (threads, result.throughput_kcps, normalized)
+                )
+    return {
+        "figure": "5",
+        "rows": rows,
+        "series": series,
+        "expectations": PAPER_EXPECTATIONS,
+        "text": format_table(
+            rows,
+            columns=[
+                "workload", "technique", "threads", "throughput_kcps",
+                "per_thread_normalized", "avg_latency_ms",
+            ],
+            title="Figure 5 - scalability with the number of threads",
+        ),
+    }

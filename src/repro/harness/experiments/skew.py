@@ -1,0 +1,84 @@
+"""Figure 7: performance under skewed workloads (uniform vs Zipfian keys).
+
+Workload: 50% updates, 50% reads.  P-SMR and sP-SMR are swept over thread
+counts with uniform and Zipfian (theta = 1) key selection.  The paper's
+findings: P-SMR's throughput under skew is bounded by the most loaded
+multicast group, sP-SMR's by its scheduler; P-SMR still scales better with
+the number of cores under both distributions.
+"""
+
+from repro.harness.runner import run_kv_technique
+from repro.harness.tables import format_table
+from repro.workload import skewed_update_mix
+
+FIG7_TECHNIQUES = ("P-SMR", "sP-SMR")
+FIG7_THREADS = (1, 2, 4, 6, 8)
+FIG7_DISTRIBUTIONS = ("uniform", "zipfian")
+
+#: Clients driving each data point.  Smaller than the peak-throughput
+#: defaults so that the skew-induced queueing at the most loaded multicast
+#: group reaches equilibrium within the (longer) warmup of this experiment.
+FIG7_CLIENTS = 60
+
+#: The skew effect needs a longer warmup than the other figures: the hot
+#: group's backlog has to build up before it throttles the replica.
+FIG7_WARMUP = 0.05
+FIG7_DURATION = 0.04
+
+
+def run_fig7_skew(
+    warmup=FIG7_WARMUP,
+    duration=FIG7_DURATION,
+    seed=1,
+    techniques=FIG7_TECHNIQUES,
+    thread_counts=FIG7_THREADS,
+    distributions=FIG7_DISTRIBUTIONS,
+    num_clients=FIG7_CLIENTS,
+):
+    """Sweep thread counts for both key distributions; return rows and series."""
+    rows = []
+    series = {}
+    for technique in techniques:
+        for distribution in distributions:
+            base_kcps = None
+            for threads in thread_counts:
+                result = run_kv_technique(
+                    technique,
+                    threads,
+                    mix=skewed_update_mix(),
+                    distribution=distribution,
+                    zipf_theta=1.0,
+                    warmup=warmup,
+                    duration=duration,
+                    seed=seed,
+                    num_clients=num_clients,
+                )
+                if threads == thread_counts[0]:
+                    base_kcps = result.throughput_kcps / max(1, threads)
+                normalized = (
+                    (result.throughput_kcps / threads) / base_kcps if base_kcps else 0.0
+                )
+                row = {
+                    "technique": technique,
+                    "distribution": distribution,
+                    "threads": threads,
+                    "throughput_kcps": round(result.throughput_kcps, 1),
+                    "per_thread_normalized": round(normalized, 3),
+                }
+                rows.append(row)
+                series.setdefault((technique, distribution), []).append(
+                    (threads, result.throughput_kcps, normalized)
+                )
+    return {
+        "figure": "7",
+        "rows": rows,
+        "series": series,
+        "text": format_table(
+            rows,
+            columns=[
+                "technique", "distribution", "threads",
+                "throughput_kcps", "per_thread_normalized",
+            ],
+            title="Figure 7 - skewed workloads (50% updates, 50% reads)",
+        ),
+    }

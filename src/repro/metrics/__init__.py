@@ -1,0 +1,15 @@
+"""Measurement utilities: latency, throughput, CPU accounting, result records."""
+
+from repro.metrics.recorders import (
+    LatencyRecorder,
+    ThroughputMeter,
+    CpuAccountant,
+)
+from repro.metrics.results import ExperimentResult
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "CpuAccountant",
+    "ExperimentResult",
+]

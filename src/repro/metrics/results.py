@@ -1,0 +1,35 @@
+"""Structured results returned by every experiment driver."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """One data point: a technique run under one workload/configuration."""
+
+    technique: str
+    threads: int
+    throughput_kcps: float
+    avg_latency_ms: float
+    cpu_percent: float
+    completed: int
+    latency_cdf: List[Tuple[float, float]] = field(default_factory=list)
+    extra: Dict = field(default_factory=dict)
+
+    def normalized_per_thread(self, baseline_kcps):
+        """Per-thread throughput normalised to a single-thread baseline (Fig. 5/7)."""
+        if baseline_kcps <= 0 or self.threads <= 0:
+            return 0.0
+        return (self.throughput_kcps / self.threads) / baseline_kcps
+
+    def as_row(self):
+        """A compact dict used by the harness to print paper-style tables."""
+        return {
+            "technique": self.technique,
+            "threads": self.threads,
+            "throughput_kcps": round(self.throughput_kcps, 1),
+            "avg_latency_ms": round(self.avg_latency_ms, 3),
+            "cpu_percent": round(self.cpu_percent, 1),
+            "completed": self.completed,
+        }

@@ -1,0 +1,31 @@
+"""Atomic multicast built from parallel Paxos streams (paper sections II, VI-A).
+
+The abstraction offered to the replication protocols is the paper's:
+``multicast(gamma, m)`` where ``gamma`` is a set of groups, and
+``deliver(m)`` at every correct server thread subscribed to a group in
+``gamma``, with the acyclic-order guarantee.
+
+Internally (matching the paper's prototype):
+
+* each group ``g_i`` is one Paxos stream with its own coordinator, acceptors
+  and batcher;
+* each worker thread ``t_i`` subscribes to its own group ``g_i`` and to the
+  ``g_all`` group that every thread belongs to;
+* a message addressed to a single group travels on that group's stream; a
+  message addressed to several groups travels on the ``g_all`` stream;
+* subscribers of multiple streams use a deterministic merge so every replica
+  delivers the same interleaving.
+"""
+
+from repro.multicast.group import Group, GroupLayout, ALL_GROUPS
+from repro.multicast.merge import MergeBuffer, SkipToken
+from repro.multicast.order_checker import OrderChecker
+
+__all__ = [
+    "Group",
+    "GroupLayout",
+    "ALL_GROUPS",
+    "MergeBuffer",
+    "SkipToken",
+    "OrderChecker",
+]

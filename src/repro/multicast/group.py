@@ -1,0 +1,108 @@
+"""Multicast groups and the mapping from destination sets to physical streams."""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+#: Sentinel used by C-G functions to address every group at once.
+ALL_GROUPS = "ALL"
+
+
+@dataclass(frozen=True)
+class Group:
+    """A multicast group: one per worker thread, plus the shared ``g_all``."""
+
+    group_id: int
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+class GroupLayout:
+    """The group structure of a P-SMR deployment with multiprogramming level k.
+
+    Thread ``t_i`` (``i`` in ``1..k``) belongs to group ``g_i`` and to
+    ``g_all``.  Physical streams are numbered ``1..k`` for the per-thread
+    groups and ``0`` for ``g_all``.
+    """
+
+    ALL_STREAM_ID = 0
+
+    def __init__(self, mpl):
+        if mpl < 1:
+            raise ConfigurationError("multiprogramming level must be >= 1")
+        self.mpl = mpl
+        self.per_thread_groups = [Group(i, f"g{i}") for i in range(1, mpl + 1)]
+        self.all_group = Group(self.ALL_STREAM_ID, "g_all")
+
+    @property
+    def groups(self):
+        """Every group, ``g_all`` first."""
+        return [self.all_group, *self.per_thread_groups]
+
+    @property
+    def stream_ids(self):
+        return [group.group_id for group in self.groups]
+
+    def group_of_thread(self, thread_index):
+        """Group ``g_i`` of thread ``t_i`` (1-based, as in the paper)."""
+        if not 1 <= thread_index <= self.mpl:
+            raise ConfigurationError(
+                f"thread index {thread_index} outside 1..{self.mpl}"
+            )
+        return self.per_thread_groups[thread_index - 1]
+
+    def subscriptions_of_thread(self, thread_index):
+        """The stream ids thread ``t_i`` delivers from: its own group and ``g_all``."""
+        return [self.ALL_STREAM_ID, self.group_of_thread(thread_index).group_id]
+
+    def normalize_destinations(self, destinations):
+        """Normalise a C-G result into a frozenset of group ids.
+
+        ``destinations`` may be :data:`ALL_GROUPS`, a single group id, or an
+        iterable of group ids.
+        """
+        if destinations == ALL_GROUPS:
+            return frozenset(g.group_id for g in self.per_thread_groups)
+        if isinstance(destinations, int):
+            destinations = [destinations]
+        ids = frozenset(int(d) for d in destinations)
+        if not ids:
+            raise ConfigurationError("destination set may not be empty")
+        for group_id in ids:
+            if not 1 <= group_id <= self.mpl:
+                raise ConfigurationError(f"unknown group id {group_id}")
+        return ids
+
+    def stream_for_destinations(self, destination_ids):
+        """Map a destination group set to the physical stream carrying the message.
+
+        Single-group destinations use the group's own stream; multi-group
+        destinations (and the explicit :data:`ALL_GROUPS` marker, even with
+        ``mpl == 1``) are carried by the ``g_all`` stream — the prototype's
+        conservative mapping, see paper section VI-A.
+        """
+        if destination_ids == ALL_GROUPS:
+            return self.ALL_STREAM_ID
+        destination_ids = self.normalize_destinations(destination_ids)
+        if len(destination_ids) == 1:
+            return next(iter(destination_ids))
+        return self.ALL_STREAM_ID
+
+    def threads_for_destinations(self, destination_ids):
+        """Thread indices (1-based) that must participate in the command."""
+        destination_ids = self.normalize_destinations(destination_ids)
+        return sorted(destination_ids)
+
+    def delivering_threads(self, destination_ids):
+        """Thread indices that *deliver* the message given the stream mapping.
+
+        With the prototype mapping, a multi-group message travels on
+        ``g_all`` and is therefore delivered by every thread, even those not
+        in the destination set; they simply take no part in the barrier.
+        """
+        stream = self.stream_for_destinations(destination_ids)
+        if stream == self.ALL_STREAM_ID:
+            return list(range(1, self.mpl + 1))
+        return [stream]

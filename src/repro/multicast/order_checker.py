@@ -1,0 +1,107 @@
+"""Validation of atomic multicast guarantees across subscribers.
+
+Used by integration and property tests: every delivery at every subscriber
+is recorded and the checker verifies the paper's two properties
+(section II):
+
+* **agreement** — if one subscriber of a group delivers ``m``, every correct
+  subscriber of that group delivers ``m``;
+* **order** — the relation "delivered before at some process" is acyclic.
+"""
+
+from collections import defaultdict
+
+from repro.common.errors import ProtocolError
+
+
+class OrderChecker:
+    """Collects per-subscriber delivery sequences and checks multicast properties."""
+
+    def __init__(self):
+        # subscriber id -> ordered list of message ids
+        self._deliveries = defaultdict(list)
+        # message id -> set of subscribers expected to deliver it
+        self._expected = {}
+
+    def expect(self, message_id, subscribers):
+        """Declare which subscribers must deliver ``message_id`` (agreement check)."""
+        self._expected[message_id] = frozenset(subscribers)
+
+    def record(self, subscriber_id, message_id):
+        """Record that ``subscriber_id`` delivered ``message_id``."""
+        self._deliveries[subscriber_id].append(message_id)
+
+    def deliveries_of(self, subscriber_id):
+        return list(self._deliveries[subscriber_id])
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_no_duplicates(self):
+        """No subscriber delivers the same message twice."""
+        for subscriber, sequence in self._deliveries.items():
+            if len(sequence) != len(set(sequence)):
+                raise ProtocolError(f"duplicate delivery at subscriber {subscriber}")
+        return True
+
+    def check_agreement(self):
+        """Every expected subscriber delivered every expected message."""
+        for message_id, subscribers in self._expected.items():
+            for subscriber in subscribers:
+                if message_id not in set(self._deliveries[subscriber]):
+                    raise ProtocolError(
+                        f"subscriber {subscriber} missed message {message_id}"
+                    )
+        return True
+
+    def check_acyclic_order(self):
+        """The union of all per-subscriber delivery orders must be acyclic."""
+        # Build the precedence graph over messages.
+        edges = defaultdict(set)
+        nodes = set()
+        for sequence in self._deliveries.values():
+            for earlier, later in zip(sequence, sequence[1:]):
+                edges[earlier].add(later)
+            nodes.update(sequence)
+
+        # Kahn's algorithm for cycle detection.
+        indegree = {node: 0 for node in nodes}
+        for source, targets in edges.items():
+            for target in targets:
+                indegree[target] += 1
+        frontier = [node for node, degree in indegree.items() if degree == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for target in edges[node]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    frontier.append(target)
+        if visited != len(nodes):
+            raise ProtocolError("cyclic delivery order detected")
+        return True
+
+    def check_pairwise_consistency(self):
+        """Any two subscribers deliver their common messages in the same order."""
+        subscribers = list(self._deliveries)
+        for i, first in enumerate(subscribers):
+            seq_a = self._deliveries[first]
+            pos_a = {m: p for p, m in enumerate(seq_a)}
+            for second in subscribers[i + 1:]:
+                seq_b = self._deliveries[second]
+                common = [m for m in seq_b if m in pos_a]
+                positions = [pos_a[m] for m in common]
+                if positions != sorted(positions):
+                    raise ProtocolError(
+                        f"subscribers {first} and {second} disagree on delivery order"
+                    )
+        return True
+
+    def check_all(self):
+        """Run every check; return True when all pass."""
+        self.check_no_duplicates()
+        self.check_agreement()
+        self.check_acyclic_order()
+        self.check_pairwise_consistency()
+        return True

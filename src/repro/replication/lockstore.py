@@ -1,0 +1,134 @@
+"""Simulated deployment of the lock-based multi-threaded server (BDB-like).
+
+The paper compares against Berkeley DB configured as a client/server
+in-memory B-tree with locking enabled and no scheduler: *each server thread
+receives requests through a separate socket, executes them, and responds to
+clients* (section VI-B).  Concurrency control is pessimistic locking, so
+every command pays lock-manager overhead, and structure-modifying commands
+(inserts/deletes) additionally serialise on a tree latch.
+"""
+
+from repro.core.descriptor import Serial
+from repro.replication.base import BaseSystem
+from repro.replication.costmodel import KeyCache
+from repro.sim import Resource, Store
+
+
+class LockStoreThread:
+    """One server thread with its own client-facing socket (queue)."""
+
+    def __init__(self, system, index, latch):
+        self.system = system
+        self.env = system.env
+        self.costs = system.config.costs
+        self.profile = system.profile
+        self.index = index
+        self.latch = latch
+        self.queue = Store(system.env)
+        self.cache = KeyCache(self.costs.cache_size)
+        self.scale = self.costs.contention_factor(system.threads_per_server())
+        self.cpu_name = f"server0/worker{index + 1}"
+        self.executed = 0
+        system.env.process(self._run(), name=f"lockstore-t{index}")
+
+    def _run(self):
+        num_threads = self.system.threads_per_server()
+        while True:
+            first = yield self.queue.get()
+            items = [first]
+            while True:
+                more = self.queue.get_nowait()
+                if more is None:
+                    break
+                items.append(more)
+            chunk = []
+            chunk_cost = 0.0
+            for command in items:
+                serial = isinstance(self.system.spec.routing(command.name), Serial)
+                cost = (
+                    self.profile.lockstore_cost(command, num_threads)
+                    + self.profile.execute_cost(command, self.cache)
+                ) * self.scale
+                if serial:
+                    # Flush the accumulated independent work, then take the
+                    # global tree latch for the structural command.
+                    if chunk or chunk_cost > 0:
+                        yield from self._flush(chunk, chunk_cost)
+                        chunk, chunk_cost = [], 0.0
+                    yield from self._run_structural(command, cost)
+                else:
+                    chunk_cost += cost
+                    chunk.append((command, chunk_cost))
+            if chunk or chunk_cost > 0:
+                yield from self._flush(chunk, chunk_cost)
+
+    def _flush(self, chunk, total):
+        start = self.env.now
+        if total > 0:
+            yield self.env.timeout(total)
+            self.system.cpu.charge(self.cpu_name, total, self.env.now)
+        for command, offset in chunk:
+            self._respond(command, start + offset)
+
+    def _run_structural(self, command, cost):
+        # The bulk of the work (tree traversal, lock manager) happens before
+        # the structural modification; only the modification itself holds the
+        # global tree latch.
+        yield self.env.timeout(cost)
+        self.system.cpu.charge(self.cpu_name, cost, self.env.now)
+        request = self.latch.request()
+        yield request
+        try:
+            hold = self.costs.bdb_write_latch * self.scale
+            yield self.env.timeout(hold)
+            self.system.cpu.charge(self.cpu_name, hold, self.env.now)
+            self._respond(command, self.env.now)
+        finally:
+            self.latch.release(request)
+
+    def _respond(self, command, completed_at):
+        value = None
+        if self.system.state is not None:
+            response = self.system.state.apply(command)
+            value = response.value if response.error is None else response.error
+        self.executed += 1
+        self.system.clients.deliver_response(command.uid, completed_at, value)
+
+
+class LockStoreSystem(BaseSystem):
+    """Unreplicated lock-based multi-threaded server (the paper's BDB baseline)."""
+
+    name = "BDB"
+
+    def __init__(self, config, generator, profile, spec, threads=None,
+                 execute_state=False, state_factory=None):
+        self.spec = spec
+        self._threads = threads if threads is not None else config.mpl
+        super().__init__(
+            config,
+            generator,
+            profile,
+            execute_state=execute_state,
+            state_factory=state_factory,
+        )
+
+    def build(self):
+        self.state = None
+        if self.execute_state and self.state_factory is not None:
+            self.state = self.state_factory()
+        self.latch = Resource(self.env, capacity=1)
+        self.threads = [
+            LockStoreThread(self, index, self.latch) for index in range(self._threads)
+        ]
+
+    def submit(self, command):
+        """Clients are statically assigned to server threads (one socket each)."""
+        command.destinations = frozenset({1})
+        thread = self.threads[command.client_id % len(self.threads)]
+        thread.queue.put(command)
+
+    def threads_per_server(self):
+        return self._threads
+
+    def replica_state(self, replica_id=0):
+        return self.state

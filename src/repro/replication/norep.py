@@ -1,0 +1,48 @@
+"""Simulated deployment of the unreplicated scheduler-worker server (no-rep).
+
+A single multi-threaded server directly connected to the clients: a
+scheduler receives every request and dispatches to worker threads exactly
+like an sP-SMR replica, but there is no atomic multicast, no ordering
+latency and no second replica (paper section VI-B).
+"""
+
+from repro.replication.base import BaseSystem
+from repro.replication.spsmr import SchedulerReplica
+
+
+class NoRepSystem(BaseSystem):
+    """Unreplicated scheduler + worker-pool server."""
+
+    name = "no-rep"
+
+    def __init__(self, config, generator, profile, spec, workers=None,
+                 execute_state=False, state_factory=None):
+        self.spec = spec
+        self._workers = workers if workers is not None else config.mpl
+        super().__init__(
+            config,
+            generator,
+            profile,
+            execute_state=execute_state,
+            state_factory=state_factory,
+        )
+
+    def build(self):
+        self.server = SchedulerReplica(
+            system=self,
+            server_id=0,
+            num_workers=self._workers,
+            spec=self.spec,
+            ordered=False,
+        )
+        self.replicas = [self.server]
+
+    def submit(self, command):
+        command.destinations = frozenset({1})
+        self.server.push(command)
+
+    def threads_per_server(self):
+        return self._workers
+
+    def replica_state(self, replica_id=0):
+        return self.server.state

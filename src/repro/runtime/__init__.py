@@ -1,0 +1,27 @@
+"""Threaded (real-thread) runtime for functional validation.
+
+The simulation runtime (:mod:`repro.replication`) reproduces the paper's
+*performance* results; this package runs the same P-SMR protocol logic on
+real Python threads and queues so correctness properties — replica state
+equality, linearizability, deadlock freedom — can be exercised end to end.
+Because of the CPython GIL this runtime makes no performance claims (see
+DESIGN.md, substitution table).
+
+The atomic multicast here uses an in-process sequencer that assigns a
+global order under a lock and enqueues messages into each subscribed worker
+thread's delivery queue; every thread of every replica therefore observes
+the same deterministic interleaving of its group and ``g_all``, which is
+the property the paper's deterministic merge provides.
+"""
+
+from repro.runtime.multicast import LocalAtomicMulticast
+from repro.runtime.cluster import ThreadedPSMRCluster, ThreadedClient
+from repro.runtime.linearizability import HistoryRecorder, check_linearizable
+
+__all__ = [
+    "LocalAtomicMulticast",
+    "ThreadedPSMRCluster",
+    "ThreadedClient",
+    "HistoryRecorder",
+    "check_linearizable",
+]

@@ -1,0 +1,250 @@
+"""Threaded P-SMR cluster: real worker threads executing a replicated service.
+
+This is the "commodified architecture" of Figure 1 realised in-process:
+client proxies marshal invocations and multicast them; each replica runs
+``mpl`` worker threads that deliver, synchronise (barriers for synchronous
+mode) and execute against the local service instance; responses travel back
+to the client proxy, which returns the first one.
+"""
+
+import itertools
+import threading
+
+from repro.common.errors import ConfigurationError
+from repro.core.cg import CGFunction
+from repro.core.command import Command
+from repro.core.protocol import plan_execution
+from repro.runtime.multicast import LocalAtomicMulticast
+
+
+class _BarrierSync:
+    """Per-replica synchronous-mode signalling implemented with a condition."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._signals = {}
+        self._done = set()
+
+    def signal(self, uid, thread_index):
+        with self._cond:
+            self._signals.setdefault(uid, set()).add(thread_index)
+            self._cond.notify_all()
+
+    def wait_for_peers(self, uid, peers, timeout=None):
+        peers = set(peers)
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: peers <= self._signals.get(uid, set()), timeout=timeout
+            )
+        if not ok:
+            raise TimeoutError(f"barrier timed out waiting for peers of {uid}")
+
+    def complete(self, uid):
+        with self._cond:
+            self._done.add(uid)
+            self._signals.pop(uid, None)
+            self._cond.notify_all()
+
+    def wait_for_completion(self, uid, timeout=None):
+        with self._cond:
+            ok = self._cond.wait_for(lambda: uid in self._done, timeout=timeout)
+        if not ok:
+            raise TimeoutError(f"barrier timed out waiting for executor of {uid}")
+
+
+class _Replica:
+    """One replica: a service instance plus ``mpl`` worker threads."""
+
+    def __init__(self, cluster, replica_id, service):
+        self.cluster = cluster
+        self.replica_id = replica_id
+        self.service = service
+        self.barrier = _BarrierSync()
+        self.delivered = [0] * (cluster.mpl + 1)
+        self.threads = []
+        for index in range(1, cluster.mpl + 1):
+            delivery_queue = cluster.multicast.register_thread(replica_id, index)
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(index, delivery_queue),
+                name=f"psmr-replica{replica_id}-t{index}",
+                daemon=True,
+            )
+            self.threads.append(worker)
+
+    def start(self):
+        for thread in self.threads:
+            thread.start()
+
+    def join(self, timeout=5.0):
+        for thread in self.threads:
+            thread.join(timeout)
+
+    def _worker_loop(self, index, delivery_queue):
+        mpl = self.cluster.mpl
+        while True:
+            item = delivery_queue.get()
+            if item is None:
+                return
+            _sequence, destinations, command = item
+            self.delivered[index] += 1
+            plan = plan_execution(destinations, index, mpl)
+            if plan.mode == "parallel":
+                self._execute_and_reply(command)
+            elif plan.mode == "execute":
+                self.barrier.wait_for_peers(
+                    command.uid, plan.peers, timeout=self.cluster.barrier_timeout
+                )
+                self._execute_and_reply(command)
+                self.barrier.complete(command.uid)
+            elif plan.mode == "assist":
+                self.barrier.signal(command.uid, index)
+                self.barrier.wait_for_completion(
+                    command.uid, timeout=self.cluster.barrier_timeout
+                )
+            # plan.mode == "ignore": not a destination; nothing to do.
+
+    def _execute_and_reply(self, command):
+        response = self.service.apply(command)
+        response.replica_id = self.replica_id
+        self.cluster._respond(command.uid, response)
+
+
+class ThreadedClient:
+    """A client proxy: turns invocations into commands and waits for a response."""
+
+    def __init__(self, cluster, client_id):
+        self.cluster = cluster
+        self.client_id = client_id
+        self._sequence = itertools.count()
+
+    def invoke(self, name, timeout=10.0, **args):
+        """Invoke a service command and return its value (first replica response)."""
+        command = Command(
+            uid=(self.client_id, next(self._sequence)),
+            name=name,
+            args=args,
+        )
+        gamma = self.cluster.cg.groups_for(name, args)
+        command.destinations = gamma
+        waiter = self.cluster._register_waiter(command.uid)
+        self.cluster.multicast.multicast(gamma, command)
+        if not waiter.wait(timeout):
+            raise TimeoutError(f"no response for {name} within {timeout}s")
+        response = self.cluster._take_response(command.uid)
+        return response
+
+
+class ThreadedPSMRCluster:
+    """A complete in-process P-SMR deployment over real threads.
+
+    ``service_factory`` builds one service state machine per replica (e.g.
+    ``KeyValueStoreServer``); ``spec`` provides the command signatures and
+    routing from which the C-G function is compiled.
+    """
+
+    def __init__(self, spec, service_factory, mpl=4, num_replicas=2,
+                 coarse_cg=False, barrier_timeout=10.0, seed=0):
+        if num_replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        self.spec = spec
+        self.mpl = mpl
+        self.num_replicas = num_replicas
+        self.barrier_timeout = barrier_timeout
+        self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
+        self.multicast = LocalAtomicMulticast(mpl)
+        self.replicas = [
+            _Replica(self, replica_id, service_factory())
+            for replica_id in range(num_replicas)
+        ]
+        self._responses = {}
+        self._waiters = {}
+        self._lock = threading.Lock()
+        self._client_ids = itertools.count()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._started:
+            return self
+        for replica in self.replicas:
+            replica.start()
+        self._started = True
+        return self
+
+    def shutdown(self):
+        self.multicast.shutdown()
+        for replica in self.replicas:
+            replica.join()
+        self._started = False
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Client plumbing
+    # ------------------------------------------------------------------
+    def client(self):
+        """Create a new client proxy bound to this cluster."""
+        return ThreadedClient(self, next(self._client_ids))
+
+    def _register_waiter(self, uid):
+        event = threading.Event()
+        with self._lock:
+            self._waiters[uid] = event
+        return event
+
+    def _respond(self, uid, response):
+        with self._lock:
+            if uid in self._responses:
+                return  # a faster replica already answered
+            self._responses[uid] = response
+            waiter = self._waiters.get(uid)
+        if waiter is not None:
+            waiter.set()
+
+    def _take_response(self, uid):
+        with self._lock:
+            self._waiters.pop(uid, None)
+            return self._responses.pop(uid)
+
+    # ------------------------------------------------------------------
+    # Inspection helpers for tests
+    # ------------------------------------------------------------------
+    def wait_for_quiescence(self, timeout=10.0, poll=0.01):
+        """Block until every replica has drained and executed the same commands.
+
+        The client proxy returns as soon as the *first* replica responds, so
+        a caller that wants to compare replica states must first let the
+        slower replicas catch up.  Quiescence is declared when all delivery
+        queues are empty and per-replica execution counters are equal and
+        stable across two consecutive polls.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        previous = None
+        while _time.monotonic() < deadline:
+            queues_empty = all(
+                queue.empty() for queue in self.multicast._queues.values()
+            )
+            counters = tuple(
+                getattr(replica.service, "commands_executed", 0)
+                for replica in self.replicas
+            )
+            if queues_empty and len(set(counters)) == 1 and counters == previous:
+                return True
+            previous = counters if queues_empty else None
+            _time.sleep(poll)
+        raise TimeoutError("cluster did not quiesce within the timeout")
+
+    def replica_snapshots(self, quiesce=True):
+        """Return each replica's service snapshot (replicas must converge)."""
+        if quiesce and self._started:
+            self.wait_for_quiescence()
+        return [replica.service.snapshot() for replica in self.replicas]

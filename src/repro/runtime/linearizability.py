@@ -1,0 +1,137 @@
+"""A small linearizability checker for key-value store histories.
+
+Used by the threaded-runtime tests to validate the paper's correctness
+claim (section IV-E): P-SMR is linearizable.  The checker is the classic
+Wing & Gong search — exponential in the worst case, so tests keep
+histories small (tens of operations).
+"""
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.common.errors import LinearizabilityViolation
+
+
+@dataclass
+class Operation:
+    """One invocation/response pair observed by a client."""
+
+    client_id: int
+    name: str
+    args: dict
+    result: Any
+    invoked_at: float
+    returned_at: float
+
+
+@dataclass
+class HistoryRecorder:
+    """Thread-safe collector of operations for linearizability checking."""
+
+    operations: List[Operation] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def record(self, client_id, name, args, result, invoked_at, returned_at):
+        operation = Operation(
+            client_id=client_id,
+            name=name,
+            args=dict(args),
+            result=result,
+            invoked_at=invoked_at,
+            returned_at=returned_at,
+        )
+        with self._lock:
+            self.operations.append(operation)
+        return operation
+
+    def timed_call(self, client_id, name, args, call):
+        """Invoke ``call()`` and record its timing and result."""
+        invoked_at = time.monotonic()
+        result = call()
+        returned_at = time.monotonic()
+        return self.record(client_id, name, args, result, invoked_at, returned_at)
+
+
+def _kv_apply(state, operation: Operation):
+    """Apply one KV operation to a model state; return (ok, new_state).
+
+    ``state`` is an immutable dict snapshot; the return value says whether
+    the operation's observed result is consistent with this state.
+    """
+    name = operation.name
+    key = operation.args.get("key")
+    result = operation.result
+    if name == "read":
+        expected = state.get(key)
+        return result == expected, state
+    if name == "update":
+        if key in state:
+            ok = result in ("ok", True, None) or result == 0
+            new_state = dict(state)
+            new_state[key] = operation.args.get("value")
+            return ok, new_state
+        return result in ("missing", "err=1", 1, False), state
+    if name == "insert":
+        if key in state:
+            return result in ("exists", "err=2", 2, False), state
+        new_state = dict(state)
+        new_state[key] = operation.args.get("value")
+        return result in ("ok", True, None, 0), new_state
+    if name == "delete":
+        if key in state:
+            new_state = dict(state)
+            del new_state[key]
+            return result in ("ok", True, None, 0), new_state
+        return result in ("missing", "err=1", 1, False), state
+    raise LinearizabilityViolation(f"unknown operation {name!r} in history")
+
+
+def check_linearizable(operations, initial_state=None, apply_fn=_kv_apply):
+    """Return True if the history admits a linearization; raise otherwise.
+
+    The search respects real-time order: an operation can only be linearized
+    once every operation that *returned before it was invoked* has been
+    linearized.
+    """
+    operations = list(operations)
+    initial_state = dict(initial_state or {})
+    n = len(operations)
+    if n == 0:
+        return True
+
+    seen_configurations = set()
+
+    def freeze(state):
+        return tuple(sorted(state.items()))
+
+    def search(done_mask, state):
+        if done_mask == (1 << n) - 1:
+            return True
+        configuration = (done_mask, freeze(state))
+        if configuration in seen_configurations:
+            return False
+        seen_configurations.add(configuration)
+        # The minimal return time among pending operations bounds which
+        # operations may be linearized next (real-time order).
+        pending = [i for i in range(n) if not done_mask & (1 << i)]
+        earliest_return = min(operations[i].returned_at for i in pending)
+        for i in pending:
+            operation = operations[i]
+            if operation.invoked_at > earliest_return:
+                continue
+            ok, new_state = apply_fn(state, operation)
+            if not ok:
+                continue
+            if search(done_mask | (1 << i), new_state):
+                return True
+        return False
+
+    if search(0, initial_state):
+        return True
+    raise LinearizabilityViolation(
+        f"history of {n} operations admits no linearization"
+    )

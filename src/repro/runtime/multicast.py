@@ -1,0 +1,63 @@
+"""In-process atomic multicast for the threaded runtime."""
+
+import itertools
+import queue
+import threading
+
+from repro.common.errors import ConfigurationError
+from repro.multicast.group import ALL_GROUPS, GroupLayout
+
+
+class LocalAtomicMulticast:
+    """Sequencer-based atomic multicast connecting client and server threads.
+
+    ``multicast(destinations, payload)`` assigns the message a global
+    sequence number under a lock and appends it, atomically, to the delivery
+    queue of every worker thread subscribed to a destination group (each
+    thread subscribes to its own group and to ``g_all``).  Every subscriber
+    of the same groups therefore delivers the same messages in the same
+    relative order — the agreement and order properties of section II.
+    """
+
+    def __init__(self, mpl):
+        if mpl < 1:
+            raise ConfigurationError("multiprogramming level must be >= 1")
+        self.layout = GroupLayout(mpl)
+        self.mpl = mpl
+        self._lock = threading.Lock()
+        self._sequence = itertools.count()
+        # (replica_id, thread_index) -> delivery queue
+        self._queues = {}
+        self.messages_multicast = 0
+
+    def register_thread(self, replica_id, thread_index):
+        """Create and return the delivery queue of one worker thread."""
+        key = (replica_id, thread_index)
+        if key in self._queues:
+            raise ConfigurationError(f"thread {key} registered twice")
+        delivery_queue = queue.Queue()
+        self._queues[key] = delivery_queue
+        return delivery_queue
+
+    def replica_ids(self):
+        return sorted({replica for replica, _thread in self._queues})
+
+    def multicast(self, destinations, payload):
+        """Atomically deliver ``payload`` to every thread of every destination group."""
+        if destinations == ALL_GROUPS:
+            threads = list(range(1, self.mpl + 1))
+        else:
+            threads = self.layout.delivering_threads(destinations)
+        with self._lock:
+            sequence = next(self._sequence)
+            self.messages_multicast += 1
+            for (replica_id, thread_index), delivery_queue in self._queues.items():
+                if thread_index in threads:
+                    delivery_queue.put((sequence, destinations, payload))
+        return sequence
+
+    def shutdown(self):
+        """Deliver a poison pill to every registered thread."""
+        with self._lock:
+            for delivery_queue in self._queues.values():
+                delivery_queue.put(None)

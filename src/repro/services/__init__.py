@@ -1,0 +1,33 @@
+"""Replicated services used in the paper's evaluation (section V).
+
+Two services are provided, each consisting of a :class:`ServiceSpec`
+(command signatures + routing declarations from which C-Dep and C-G are
+derived) and a deterministic server state machine:
+
+* :mod:`repro.services.kvstore` — a B+-tree backed key-value store with
+  ``insert``, ``delete``, ``read`` and ``update`` commands;
+* :mod:`repro.services.netfs` — a networked file system exposing a subset
+  of FUSE calls over an in-memory file system.
+"""
+
+from repro.services.kvstore import (
+    KVSTORE_SPEC,
+    KeyValueStoreServer,
+    build_kvstore_spec,
+)
+from repro.services.netfs import (
+    NETFS_SPEC,
+    NetFSServer,
+    build_netfs_spec,
+    path_range,
+)
+
+__all__ = [
+    "KVSTORE_SPEC",
+    "KeyValueStoreServer",
+    "build_kvstore_spec",
+    "NETFS_SPEC",
+    "NetFSServer",
+    "build_netfs_spec",
+    "path_range",
+]

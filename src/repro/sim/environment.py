@@ -1,0 +1,106 @@
+"""The simulation environment: virtual clock plus event queue."""
+
+import heapq
+from itertools import count
+
+from repro.common.errors import SimulationError
+from repro.sim.events import PENDING, Event, Process, Timeout, AnyOf, AllOf
+
+
+class Environment:
+    """Owns the virtual clock and executes triggered events in time order."""
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._sequence = count()
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self):
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event, delay=0.0):
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def step(self):
+        """Process the single next event; raise if the queue is empty."""
+        if not self._queue:
+            raise SimulationError("step() called on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-15:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        if event._value is PENDING:
+            # Timeouts (and the process bootstrap event) become triggered as
+            # they are processed.
+            event._value = getattr(event, "_timeout_value", None)
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self):
+        """Return the time of the next event, or ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until the
+        clock reaches that time) or an :class:`Event` (run until it triggers,
+        returning its value).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError("run(until) is in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

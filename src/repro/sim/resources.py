@@ -1,0 +1,112 @@
+"""Queues and capacity-limited resources for the simulation kernel."""
+
+from collections import deque
+
+from repro.common.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Store:
+    """Unbounded FIFO queue connecting producer and consumer processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item, serving waiting getters in FIFO order.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Insert ``item``; hand it directly to the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self):
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self):
+        """Pop an item immediately, or return ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek_all(self):
+        """Return a snapshot list of queued items without consuming them."""
+        return list(self._items)
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores or a NIC) with FIFO admission.
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+    def request(self):
+        """Return an event that fires once a unit of the resource is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, request_event):
+        """Release a previously granted unit.
+
+        ``request_event`` must be the event returned by :meth:`request`;
+        releasing an ungranted request cancels it instead.
+        """
+        if not request_event.triggered:
+            try:
+                self._waiters.remove(request_event)
+            except ValueError:
+                pass
+            return
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request")
+        # Hand the unit to the next waiter if any, otherwise free it.
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self._in_use -= 1

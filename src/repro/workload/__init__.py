@@ -1,0 +1,30 @@
+"""Workload generation for the evaluation (paper section VII).
+
+Provides key-selection distributions (uniform and Zipfian), command mixes,
+and generators producing ready-to-submit invocations for the key-value
+store and NetFS experiments.
+"""
+
+from repro.workload.distributions import UniformKeys, ZipfianKeys, make_distribution
+from repro.workload.generator import (
+    CommandMix,
+    KVWorkloadGenerator,
+    NetFSWorkloadGenerator,
+    READ_ONLY_MIX,
+    DEPENDENT_ONLY_MIX,
+    mixed_workload,
+    skewed_update_mix,
+)
+
+__all__ = [
+    "UniformKeys",
+    "ZipfianKeys",
+    "make_distribution",
+    "CommandMix",
+    "KVWorkloadGenerator",
+    "NetFSWorkloadGenerator",
+    "READ_ONLY_MIX",
+    "DEPENDENT_ONLY_MIX",
+    "mixed_workload",
+    "skewed_update_mix",
+]

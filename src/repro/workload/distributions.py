@@ -1,0 +1,100 @@
+"""Key-selection distributions: uniform and Zipfian.
+
+The Zipfian generator follows the classical Gray et al. construction (the
+one YCSB popularised): for large key spaces the zeta normalisation constant
+is approximated analytically so that constructing a generator over the
+paper's 10-million-key space stays cheap.
+"""
+
+import math
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRNG
+
+
+class UniformKeys:
+    """Selects keys uniformly at random from ``0 .. key_space - 1``."""
+
+    def __init__(self, key_space, rng=None):
+        if key_space < 1:
+            raise ConfigurationError("key_space must be >= 1")
+        self.key_space = key_space
+        self._rng = rng if rng is not None else SeededRNG(11)
+
+    def next_key(self):
+        return self._rng.randint(0, self.key_space - 1)
+
+
+def _zeta(n, theta):
+    """Return ``sum_{i=1..n} 1/i^theta`` (exact for small n, approximated for large)."""
+    if n <= 100_000:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    base = _zeta(100_000, theta)
+    # Euler-Maclaurin style tail approximation of the generalised harmonic sum.
+    if abs(theta - 1.0) < 1e-12:
+        return base + math.log(n / 100_000)
+    return base + (n ** (1 - theta) - 100_000 ** (1 - theta)) / (1 - theta)
+
+
+class ZipfianKeys:
+    """Zipfian key selection with exponent ``theta`` (the paper uses 1.0).
+
+    Keys are scrambled over the key space with a multiplicative hash so hot
+    keys are spread across the B+-tree (and across multicast groups) instead
+    of clustering at small key values — mirroring how a hot set is spread in
+    a real store.  Set ``scramble=False`` to keep rank order (key 0 hottest).
+    """
+
+    def __init__(self, key_space, theta=1.0, rng=None, scramble=True):
+        if key_space < 1:
+            raise ConfigurationError("key_space must be >= 1")
+        if theta <= 0:
+            raise ConfigurationError("zipfian theta must be > 0")
+        self.key_space = key_space
+        self.theta = theta
+        self.scramble = scramble
+        self._rng = rng if rng is not None else SeededRNG(13)
+        self._zetan = _zeta(key_space, theta)
+        self._zeta2 = _zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if abs(theta - 1.0) > 1e-12 else None
+        self._eta = self._compute_eta()
+
+    def _compute_eta(self):
+        if self._alpha is None:
+            return None
+        return (1 - (2.0 / self.key_space) ** (1 - self.theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    def next_rank(self):
+        """Return a 0-based popularity rank (0 = most popular)."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        if self._alpha is not None:
+            rank = int(
+                self.key_space
+                * (self._eta * u - self._eta + 1) ** self._alpha
+            )
+        else:
+            # theta == 1: invert the harmonic CDF, H_rank ~= uz.
+            rank = int(math.exp(uz - 0.5772156649015329)) - 1
+        return max(0, min(self.key_space - 1, rank))
+
+    def next_key(self):
+        rank = self.next_rank()
+        if not self.scramble:
+            return rank
+        return (rank * 2654435761 + 104729) % self.key_space
+
+
+def make_distribution(name, key_space, theta=1.0, rng=None):
+    """Factory used by the experiment harness ("uniform" or "zipfian")."""
+    if name == "uniform":
+        return UniformKeys(key_space, rng=rng)
+    if name == "zipfian":
+        return ZipfianKeys(key_space, theta=theta, rng=rng)
+    raise ConfigurationError(f"unknown key distribution: {name!r}")

@@ -1,0 +1,131 @@
+"""Command generators for the key-value store and NetFS experiments."""
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRNG
+from repro.workload.distributions import make_distribution
+
+#: Workload of section VII-C: independent commands only (reads).
+READ_ONLY_MIX = {"read": 1.0}
+
+#: Workload of section VII-D: dependent commands only (inserts and deletes).
+DEPENDENT_ONLY_MIX = {"insert": 0.5, "delete": 0.5}
+
+
+def mixed_workload(dependent_fraction):
+    """Workload of section VII-F: reads plus a fraction of inserts/deletes."""
+    if not 0.0 <= dependent_fraction <= 1.0:
+        raise ConfigurationError("dependent_fraction must be within [0, 1]")
+    return {
+        "read": 1.0 - dependent_fraction,
+        "insert": dependent_fraction / 2.0,
+        "delete": dependent_fraction / 2.0,
+    }
+
+
+def skewed_update_mix():
+    """Workload of section VII-G: 50% updates and 50% reads."""
+    return {"read": 0.5, "update": 0.5}
+
+
+class CommandMix:
+    """Samples command names according to configured fractions."""
+
+    def __init__(self, mix, rng=None):
+        total = sum(mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"command mix must sum to 1, got {total}")
+        self._names = []
+        self._cumulative = []
+        acc = 0.0
+        for name, fraction in mix.items():
+            if fraction < 0:
+                raise ConfigurationError("mix fractions must be non-negative")
+            if fraction == 0:
+                continue
+            acc += fraction
+            self._names.append(name)
+            self._cumulative.append(acc)
+        self._rng = rng if rng is not None else SeededRNG(17)
+
+    def next_name(self):
+        draw = self._rng.random()
+        for name, bound in zip(self._names, self._cumulative):
+            if draw <= bound:
+                return name
+        return self._names[-1]
+
+
+class KVWorkloadGenerator:
+    """Produces key-value store invocations: ``(name, args, request_size)``."""
+
+    #: Wire size of a request: command id + 8-byte key + 8-byte value + header.
+    REQUEST_OVERHEAD = 48
+
+    def __init__(
+        self,
+        mix=None,
+        key_space=10_000_000,
+        distribution="uniform",
+        zipf_theta=1.0,
+        value_size=8,
+        seed=23,
+    ):
+        rng = SeededRNG(seed)
+        self.mix = CommandMix(mix if mix is not None else READ_ONLY_MIX, rng.child("mix"))
+        self.keys = make_distribution(
+            distribution, key_space, theta=zipf_theta, rng=rng.child("keys")
+        )
+        self.value_size = value_size
+        self.key_space = key_space
+        self.generated = 0
+
+    def next_invocation(self):
+        """Return the next ``(command name, args, request size in bytes)``."""
+        self.generated += 1
+        name = self.mix.next_name()
+        key = self.keys.next_key()
+        args = {"key": key}
+        size = self.REQUEST_OVERHEAD
+        if name in ("insert", "update"):
+            args["value"] = b"\x11" * self.value_size
+            size += self.value_size
+        return name, args, size
+
+
+class NetFSWorkloadGenerator:
+    """Produces NetFS invocations (paper section VII-H).
+
+    Each request reads or writes 1024 bytes from/to one of ``num_files``
+    files spread over the file-system tree.  The experiment uses either a
+    pure-read or a pure-write workload.
+    """
+
+    REQUEST_OVERHEAD = 96
+
+    def __init__(self, operation="read", num_files=1024, io_size=1024, seed=29):
+        if operation not in ("read", "write"):
+            raise ConfigurationError("NetFS workload operation must be read or write")
+        self.operation = operation
+        self.num_files = num_files
+        self.io_size = io_size
+        self._rng = SeededRNG(seed)
+        self.generated = 0
+
+    def file_paths(self):
+        """All file paths the workload touches (used to pre-populate servers)."""
+        return [f"/data/d{i % 16}/file{i}" for i in range(self.num_files)]
+
+    def directories(self):
+        return ["/data"] + [f"/data/d{i}" for i in range(16)]
+
+    def next_invocation(self):
+        self.generated += 1
+        index = self._rng.randint(0, self.num_files - 1)
+        path = f"/data/d{index % 16}/file{index}"
+        if self.operation == "read":
+            args = {"path": path, "size": self.io_size, "offset": 0}
+            size = self.REQUEST_OVERHEAD
+        else:
+            args = {"path": path, "data": b"\x22" * self.io_size, "offset": 0}
+            size = self.REQUEST_OVERHEAD + self.io_size
+        return self.operation, args, size

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, CostModelConfig, MulticastConfig
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def costs():
+    """Default cost model."""
+    return CostModelConfig()
+
+
+@pytest.fixture
+def multicast_config():
+    return MulticastConfig()
+
+
+@pytest.fixture
+def small_cluster_config():
+    """A small, fast cluster configuration for integration tests."""
+    return ClusterConfig(num_replicas=2, mpl=4, num_clients=8, client_window=8, seed=3)

@@ -1,0 +1,172 @@
+"""Integration tests for the threaded (real-thread) P-SMR runtime."""
+
+import threading
+
+import pytest
+
+from repro.runtime import ThreadedPSMRCluster, check_linearizable
+from repro.runtime.linearizability import HistoryRecorder
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+from repro.services.netfs import NETFS_SPEC, NetFSServer
+
+
+def kv_cluster(mpl=4, replicas=2, initial_keys=32):
+    return ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=initial_keys),
+        mpl=mpl,
+        num_replicas=replicas,
+        barrier_timeout=20.0,
+    )
+
+
+def test_single_client_basic_operations():
+    with kv_cluster() as cluster:
+        client = cluster.client()
+        assert client.invoke("read", key=1).error is None
+        assert client.invoke("update", key=1, value=b"new").error is None
+        assert client.invoke("read", key=1).value == b"new"
+        assert client.invoke("read", key=999).error is not None
+
+
+def test_dependent_commands_synchronise_across_threads():
+    with kv_cluster() as cluster:
+        client = cluster.client()
+        for key in range(100, 120):
+            assert client.invoke("insert", key=key, value=b"x").error is None
+        for key in range(100, 110):
+            assert client.invoke("delete", key=key).error is None
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+        assert len(snapshots[0]) == 32 + 10
+
+
+def test_replicas_converge_under_concurrent_clients():
+    with kv_cluster(mpl=4) as cluster:
+        errors = []
+
+        def worker(client_index):
+            client = cluster.client()
+            try:
+                for step in range(30):
+                    key = (client_index * 31 + step) % 32
+                    client.invoke("update", key=key, value=f"{client_index}:{step}".encode())
+                    client.invoke("read", key=key)
+                # A couple of structural commands to exercise synchronous mode.
+                client.invoke("insert", key=1000 + client_index, value=b"s")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+def test_concurrent_history_is_linearizable():
+    with kv_cluster(mpl=3, initial_keys=4) as cluster:
+        recorder = HistoryRecorder()
+        barrier = threading.Barrier(3)
+
+        def worker(client_index):
+            client = cluster.client()
+            barrier.wait()
+            for step in range(5):
+                key = step % 3
+                if (client_index + step) % 2 == 0:
+                    recorder.timed_call(
+                        client_index, "update", {"key": key, "value": f"c{client_index}s{step}"},
+                        lambda k=key, v=f"c{client_index}s{step}": client.invoke(
+                            "update", key=k, value=v
+                        ).error,
+                    )
+                else:
+                    recorder.timed_call(
+                        client_index, "read", {"key": key},
+                        lambda k=key: _read_result(client, k),
+                    )
+
+        def _read_result(client, key):
+            response = client.invoke("read", key=key)
+            return response.value if response.error is None else None
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        initial = {key: b"\x00" * 8 for key in range(4)}
+        assert check_linearizable(recorder.operations, initial_state=initial)
+
+
+def test_first_response_wins_and_duplicates_ignored():
+    with kv_cluster(mpl=2, replicas=2) as cluster:
+        client = cluster.client()
+        for _ in range(50):
+            assert client.invoke("read", key=0).error is None
+        # All waiters were cleaned up (no leak from duplicate replica replies).
+        assert not cluster._waiters
+
+
+def test_mpl_one_cluster_behaves_like_smr():
+    with kv_cluster(mpl=1, replicas=2) as cluster:
+        client = cluster.client()
+        client.invoke("insert", key=500, value=b"x")
+        client.invoke("update", key=500, value=b"y")
+        assert client.invoke("read", key=500).value == b"y"
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+def test_no_deadlock_with_many_structural_commands():
+    """Stress synchronous mode: every command requires a full barrier."""
+    with kv_cluster(mpl=4, initial_keys=0) as cluster:
+        clients = [cluster.client() for _ in range(4)]
+        threads = []
+        errors = []
+
+        def hammer(client, base):
+            try:
+                for i in range(20):
+                    client.invoke("insert", key=base + i, value=b"v", timeout=20)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        for index, client in enumerate(clients):
+            thread = threading.Thread(target=hammer, args=(client, index * 1000))
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+        assert len(snapshots[0]) == 80
+
+
+def test_threaded_netfs_cluster():
+    cluster = ThreadedPSMRCluster(
+        spec=NETFS_SPEC, service_factory=NetFSServer, mpl=4, num_replicas=2
+    )
+    with cluster:
+        client = cluster.client()
+        client.invoke("mkdir", path="/a")
+        client.invoke("mknod", path="/a/f")
+        client.invoke("write", path="/a/f", data=b"hello", offset=0)
+        assert client.invoke("read", path="/a/f", size=16, offset=0).value == b"hello"
+        assert client.invoke("readdir", path="/a").value == [".", "..", "f"]
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+def test_multicast_message_counter_advances():
+    with kv_cluster(mpl=2) as cluster:
+        client = cluster.client()
+        for key in range(10):
+            client.invoke("read", key=key)
+        assert cluster.multicast.messages_multicast >= 10

@@ -1,0 +1,74 @@
+"""Property-based tests: the B+-tree behaves like a sorted dict."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BPlusTree
+from repro.common.errors import KeyAlreadyExistsError, KeyNotFoundError
+
+keys = st.integers(min_value=0, max_value=400)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "update", "read"]), keys),
+    max_size=300,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=operations, order=st.integers(min_value=4, max_value=16))
+def test_btree_matches_dict_model(operations, order):
+    tree = BPlusTree(order=order)
+    model = {}
+    for step, (operation, key) in enumerate(operations):
+        if operation == "insert":
+            if key in model:
+                try:
+                    tree.insert(key, step)
+                    raise AssertionError("duplicate insert accepted")
+                except KeyAlreadyExistsError:
+                    pass
+            else:
+                tree.insert(key, step)
+                model[key] = step
+        elif operation == "delete":
+            if key in model:
+                tree.delete(key)
+                del model[key]
+            else:
+                try:
+                    tree.delete(key)
+                    raise AssertionError("delete of missing key accepted")
+                except KeyNotFoundError:
+                    pass
+        elif operation == "update":
+            if key in model:
+                tree.update(key, -step)
+                model[key] = -step
+        else:  # read
+            assert tree.get(key) == model.get(key)
+    assert dict(tree.items()) == model
+    assert len(tree) == len(model)
+    assert tree.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=st.dictionaries(keys, st.integers(), max_size=200))
+def test_bulk_insert_then_range_scan(entries):
+    tree = BPlusTree(order=8)
+    for key, value in entries.items():
+        tree.insert(key, value)
+    assert list(tree.keys()) == sorted(entries)
+    if entries:
+        low, high = min(entries), max(entries)
+        assert dict(tree.range(low, high)) == entries
+    assert tree.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=st.sets(keys, max_size=150))
+def test_insert_all_delete_all(entries):
+    tree = BPlusTree(order=6)
+    for key in entries:
+        tree.insert(key, key)
+    for key in sorted(entries):
+        tree.delete(key)
+    assert len(tree) == 0
+    assert tree.validate()

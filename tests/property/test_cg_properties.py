@@ -1,0 +1,80 @@
+"""Property-based tests: the compiled C-G satisfies the C-Dep requirement.
+
+For any two concrete invocations that the C-Dep declares dependent, the
+groups chosen by the C-G function must intersect (section IV-C); and the
+whole pipeline must be deterministic so that client proxies on different
+machines agree.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CGFunction
+from repro.multicast import ALL_GROUPS
+from repro.services.kvstore import KVSTORE_CDEP, KVSTORE_SPEC
+from repro.services.netfs import NETFS_CDEP, NETFS_SPEC
+
+kv_keys = st.integers(min_value=0, max_value=10_000_000)
+mpls = st.integers(min_value=1, max_value=16)
+
+
+def kv_invocation(name, key):
+    if name in ("insert", "update"):
+        return name, {"key": key, "value": b"v"}
+    return name, {"key": key}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    mpl=mpls,
+    first=st.sampled_from(["insert", "delete", "read", "update"]),
+    second=st.sampled_from(["insert", "delete", "read", "update"]),
+    key_a=kv_keys,
+    key_b=kv_keys,
+)
+def test_kv_dependent_invocations_share_a_group(mpl, first, second, key_a, key_b):
+    cg = CGFunction(KVSTORE_SPEC, mpl)
+    name_a, args_a = kv_invocation(first, key_a)
+    name_b, args_b = kv_invocation(second, key_b)
+    groups_a = cg._as_set(cg.groups_for(name_a, args_a))
+    groups_b = cg._as_set(cg.groups_for(name_b, args_b))
+    if KVSTORE_CDEP.dependent(name_a, args_a, name_b, args_b):
+        assert groups_a & groups_b, (name_a, args_a, name_b, args_b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(mpl=mpls, key=kv_keys)
+def test_kv_cg_is_deterministic_and_in_range(mpl, key):
+    first = CGFunction(KVSTORE_SPEC, mpl, seed=1)
+    second = CGFunction(KVSTORE_SPEC, mpl, seed=1)
+    groups = first.groups_for("update", {"key": key, "value": b"v"})
+    assert groups == second.groups_for("update", {"key": key, "value": b"v"})
+    if groups != ALL_GROUPS:
+        assert all(1 <= group <= mpl for group in groups)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mpl=mpls,
+    first=st.sampled_from(["read", "write", "lstat", "mkdir", "unlink", "create"]),
+    second=st.sampled_from(["read", "write", "lstat", "mkdir", "unlink", "create"]),
+    path_a=st.sampled_from([f"/d/{i}" for i in range(12)]),
+    path_b=st.sampled_from([f"/d/{i}" for i in range(12)]),
+)
+def test_netfs_dependent_invocations_share_a_group(mpl, first, second, path_a, path_b):
+    cg = CGFunction(NETFS_SPEC, mpl)
+    args_a, args_b = {"path": path_a}, {"path": path_b}
+    groups_a = cg._as_set(cg.groups_for(first, args_a))
+    groups_b = cg._as_set(cg.groups_for(second, args_b))
+    if NETFS_CDEP.dependent(first, args_a, second, args_b):
+        assert groups_a & groups_b
+
+
+@settings(max_examples=60, deadline=None)
+@given(mpl=st.integers(min_value=2, max_value=16), keys=st.sets(kv_keys, min_size=20, max_size=60))
+def test_keyed_commands_use_more_than_one_group(mpl, keys):
+    """Independent commands must actually be spread out, not funnelled."""
+    cg = CGFunction(KVSTORE_SPEC, mpl)
+    used = set()
+    for key in keys:
+        used |= set(cg.groups_for("read", {"key": key}))
+    assert len(used) > 1 or len({key % mpl for key in keys}) == 1

@@ -1,0 +1,56 @@
+"""Property-based tests for consensus building blocks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus import Acceptor, Coordinator, InstanceLog, Learner
+
+
+@settings(max_examples=80, deadline=None)
+@given(permutation=st.permutations(list(range(12))))
+def test_instance_log_always_delivers_in_instance_order(permutation):
+    log = InstanceLog()
+    delivered = []
+    for instance in permutation:
+        delivered.extend(log.append(instance, instance))
+    assert delivered == sorted(permutation)
+    assert log.pending == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=30))
+def test_paxos_decides_every_proposed_value_in_order(values):
+    acceptors = [Acceptor(i) for i in range(3)]
+    coordinator = Coordinator(coordinator_id=1, acceptor_ids=[0, 1, 2])
+    learner = Learner(num_acceptors=3)
+    for prepare in coordinator.start_phase1():
+        for acceptor in acceptors:
+            coordinator.receive(acceptor.receive(prepare))
+    log = InstanceLog()
+    delivered = []
+    for value in values:
+        _instance, accepts = coordinator.propose(value)
+        for accept in accepts:
+            for acceptor in acceptors:
+                for decision in coordinator.receive(acceptor.receive(accept)):
+                    learned = learner.on_decision(decision)
+                    if learned is not None:
+                        delivered.extend(log.append(*learned))
+    assert delivered == list(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ballots=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 5)), min_size=1, max_size=20
+    )
+)
+def test_acceptor_promised_ballot_is_monotonic(ballots):
+    from repro.consensus import Prepare
+
+    acceptor = Acceptor(0)
+    highest = None
+    for ballot in ballots:
+        acceptor.receive(Prepare(ballot=ballot, sender=ballot[1]))
+        if highest is None or ballot > highest:
+            highest = ballot
+        assert acceptor.promised_ballot == highest

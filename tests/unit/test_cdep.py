@@ -1,0 +1,104 @@
+"""Unit tests for the C-Dep command dependency structure."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import CDep
+from repro.services.kvstore import KVSTORE_CDEP, KVSTORE_SPEC
+from repro.services.netfs import NETFS_CDEP
+
+
+def test_cdep_requires_commands():
+    with pytest.raises(ConfigurationError):
+        CDep([])
+
+
+def test_unknown_command_rejected():
+    cdep = CDep(["a", "b"])
+    with pytest.raises(ConfigurationError):
+        cdep.add_dependency("a", "zzz")
+
+
+def test_explicit_always_dependency_is_symmetric():
+    cdep = CDep(["a", "b"])
+    cdep.add_dependency("a", "b")
+    assert cdep.dependent("a", {}, "b", {})
+    assert cdep.dependent("b", {}, "a", {})
+
+
+def test_depends_on_all_covers_every_pair():
+    cdep = CDep(["a", "b", "c"])
+    cdep.depends_on_all("a")
+    assert cdep.always_dependent("a", "b")
+    assert cdep.always_dependent("a", "c")
+    assert cdep.always_dependent("a", "a")
+    assert not cdep.always_dependent("b", "c")
+
+
+def test_conditional_dependency_uses_predicate():
+    cdep = CDep(["upd"])
+    cdep.add_conditional("upd", "upd", lambda a, b: a["k"] == b["k"])
+    assert cdep.dependent("upd", {"k": 1}, "upd", {"k": 1})
+    assert cdep.independent("upd", {"k": 1}, "upd", {"k": 2})
+
+
+def test_conditional_predicate_argument_order_preserved():
+    cdep = CDep(["writer", "reader"])
+    cdep.add_conditional("writer", "reader", lambda w, r: w["range"][0] <= r["k"] <= w["range"][1])
+    assert cdep.dependent("writer", {"range": (0, 10)}, "reader", {"k": 5})
+    assert cdep.dependent("reader", {"k": 5}, "writer", {"range": (0, 10)})
+    assert not cdep.dependent("reader", {"k": 50}, "writer", {"range": (0, 10)})
+
+
+def test_pairs_reports_structure():
+    cdep = CDep(["a", "b"])
+    cdep.add_dependency("a", "b")
+    cdep.add_conditional("a", "a", lambda x, y: True)
+    always, conditional = cdep.pairs()
+    assert ("a", "b") in always
+    assert ("a", "a") in conditional
+
+
+# ----------------------------------------------------------------------
+# C-Dep derived from the key-value store spec (paper section V-A)
+# ----------------------------------------------------------------------
+def test_kvstore_inserts_depend_on_everything():
+    for other in ("read", "update", "delete", "insert"):
+        assert KVSTORE_CDEP.dependent("insert", {"key": 1}, other, {"key": 999})
+
+
+def test_kvstore_updates_depend_on_same_key_only():
+    assert KVSTORE_CDEP.dependent("update", {"key": 7}, "read", {"key": 7})
+    assert KVSTORE_CDEP.independent("update", {"key": 7}, "read", {"key": 8})
+    assert KVSTORE_CDEP.dependent("update", {"key": 7}, "update", {"key": 7})
+    assert KVSTORE_CDEP.independent("update", {"key": 7}, "update", {"key": 8})
+
+
+def test_kvstore_reads_are_mutually_independent():
+    assert KVSTORE_CDEP.independent("read", {"key": 1}, "read", {"key": 1})
+
+
+def test_kvstore_cdep_can_be_rederived():
+    derived = CDep.from_service(KVSTORE_SPEC)
+    assert derived.dependent("delete", {"key": 0}, "read", {"key": 5})
+    assert derived.independent("read", {"key": 1}, "update", {"key": 2})
+
+
+# ----------------------------------------------------------------------
+# C-Dep derived from the NetFS spec (paper section V-B)
+# ----------------------------------------------------------------------
+def test_netfs_structural_calls_depend_on_all():
+    for call in ("create", "mkdir", "unlink", "open", "release"):
+        assert NETFS_CDEP.dependent(call, {"path": "/a"}, "read", {"path": "/b"})
+
+
+def test_netfs_same_path_read_write_dependent():
+    assert NETFS_CDEP.dependent("read", {"path": "/f"}, "write", {"path": "/f"})
+
+
+def test_netfs_different_path_read_write_independent():
+    assert NETFS_CDEP.independent("read", {"path": "/f"}, "write", {"path": "/g"})
+
+
+def test_netfs_reads_on_same_path_independent():
+    assert NETFS_CDEP.independent("read", {"path": "/f"}, "lstat", {"path": "/f"})

@@ -1,0 +1,106 @@
+"""Unit tests for the Command-to-Groups (C-G) function."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import CGFunction
+from repro.core.cdep import CDep
+from repro.multicast import ALL_GROUPS
+from repro.services.kvstore import KVSTORE_CDEP, KVSTORE_SPEC
+from repro.services.netfs import NETFS_SPEC
+
+
+def test_cg_requires_positive_mpl():
+    with pytest.raises(ConfigurationError):
+        CGFunction(KVSTORE_SPEC, 0)
+
+
+def test_serial_commands_map_to_all_groups():
+    cg = CGFunction(KVSTORE_SPEC, 8)
+    assert cg.groups_for("insert", {"key": 1, "value": b"x"}) == ALL_GROUPS
+    assert cg.groups_for("delete", {"key": 1}) == ALL_GROUPS
+
+
+def test_keyed_commands_map_to_single_group():
+    cg = CGFunction(KVSTORE_SPEC, 8)
+    groups = cg.groups_for("read", {"key": 42})
+    assert isinstance(groups, frozenset)
+    assert len(groups) == 1
+    assert 1 <= next(iter(groups)) <= 8
+
+
+def test_keyed_mapping_is_deterministic_per_key():
+    cg = CGFunction(KVSTORE_SPEC, 8)
+    assert cg.groups_for("read", {"key": 42}) == cg.groups_for("update", {"key": 42, "value": b""})
+
+
+def test_keyed_mapping_follows_paper_formula():
+    """The paper's mapping is (key mod k) + 1."""
+    cg = CGFunction(KVSTORE_SPEC, 4)
+    for key in (0, 1, 5, 123, 10_000_019):
+        assert cg.groups_for("read", {"key": key}) == frozenset({(key % 4) + 1})
+
+
+def test_keyed_mapping_spreads_keys_over_groups():
+    cg = CGFunction(KVSTORE_SPEC, 8)
+    used = {next(iter(cg.groups_for("read", {"key": key}))) for key in range(64)}
+    assert used == set(range(1, 9))
+
+
+def test_coarse_cg_sends_writes_to_all_groups():
+    """The 'simple C-Dep' variant of section IV-C."""
+    cg = CGFunction(KVSTORE_SPEC, 8, coarse=True)
+    assert cg.groups_for("update", {"key": 5, "value": b""}) == ALL_GROUPS
+    reads = cg.groups_for("read", {"key": 5})
+    assert isinstance(reads, frozenset) and len(reads) == 1
+
+
+def test_string_keys_hash_stably():
+    cg = CGFunction(NETFS_SPEC, 8)
+    first = cg.groups_for("read", {"path": "/data/d3/file17"})
+    second = cg.groups_for("read", {"path": "/data/d3/file17"})
+    assert first == second
+
+
+def test_mpl_one_keyed_commands_use_single_group():
+    cg = CGFunction(KVSTORE_SPEC, 1)
+    assert cg.groups_for("read", {"key": 9}) == frozenset({1})
+    assert cg.groups_for("insert", {"key": 9, "value": b""}) == ALL_GROUPS
+
+
+def test_validate_against_kvstore_cdep():
+    cg = CGFunction(KVSTORE_SPEC, 8)
+    samples = []
+    for key in range(10):
+        samples.append(("read", {"key": key}))
+        samples.append(("update", {"key": key, "value": b"v"}))
+    samples.append(("insert", {"key": 3, "value": b"v"}))
+    samples.append(("delete", {"key": 4}))
+    assert cg.validate_against(KVSTORE_CDEP, samples)
+
+
+def test_validate_detects_violations():
+    """A C-G that separates dependent commands must be rejected."""
+    cg = CGFunction(KVSTORE_SPEC, 4)
+    broken = CDep(KVSTORE_SPEC.command_names())
+    # Claim that reads on *different* keys are dependent: the per-key C-G
+    # cannot satisfy that, so validation must fail.
+    broken.add_dependency("read", "read")
+    samples = [("read", {"key": 1}), ("read", {"key": 2})]
+    with pytest.raises(ConfigurationError):
+        cg.validate_against(broken, samples)
+
+
+def test_free_commands_round_robin_over_groups():
+    from repro.core import CommandDescriptor, Free, ServiceSpec
+
+    spec = ServiceSpec("free", [CommandDescriptor(name="noop", routing=Free())])
+    cg = CGFunction(spec, 4)
+    seen = [next(iter(cg.groups_for("noop", {}))) for _ in range(8)]
+    assert seen == [1, 2, 3, 4, 1, 2, 3, 4]
+
+
+def test_stable_hash_handles_tuples_and_ints():
+    assert CGFunction._stable_hash(17) == 17
+    assert CGFunction._stable_hash(("a", 1)) == CGFunction._stable_hash(("a", 1))
+    assert CGFunction._stable_hash("abc") == CGFunction._stable_hash("abc")

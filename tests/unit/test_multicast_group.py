@@ -1,0 +1,85 @@
+"""Unit tests for multicast groups and the destination-to-stream mapping."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.multicast import ALL_GROUPS, GroupLayout
+
+
+def test_layout_requires_positive_mpl():
+    with pytest.raises(ConfigurationError):
+        GroupLayout(0)
+
+
+def test_layout_builds_one_group_per_thread_plus_all():
+    layout = GroupLayout(4)
+    assert [group.name for group in layout.groups] == ["g_all", "g1", "g2", "g3", "g4"]
+    assert layout.stream_ids == [0, 1, 2, 3, 4]
+
+
+def test_group_of_thread_is_one_based():
+    layout = GroupLayout(3)
+    assert layout.group_of_thread(1).group_id == 1
+    assert layout.group_of_thread(3).group_id == 3
+    with pytest.raises(ConfigurationError):
+        layout.group_of_thread(4)
+    with pytest.raises(ConfigurationError):
+        layout.group_of_thread(0)
+
+
+def test_thread_subscribes_to_own_group_and_all():
+    """Each thread t_i belongs to g_i and g_all (paper section VI-A)."""
+    layout = GroupLayout(4)
+    assert layout.subscriptions_of_thread(2) == [0, 2]
+
+
+def test_normalize_accepts_int_and_iterables():
+    layout = GroupLayout(4)
+    assert layout.normalize_destinations(3) == frozenset({3})
+    assert layout.normalize_destinations([1, 2]) == frozenset({1, 2})
+    assert layout.normalize_destinations(ALL_GROUPS) == frozenset({1, 2, 3, 4})
+
+
+def test_normalize_rejects_empty_and_unknown_groups():
+    layout = GroupLayout(2)
+    with pytest.raises(ConfigurationError):
+        layout.normalize_destinations([])
+    with pytest.raises(ConfigurationError):
+        layout.normalize_destinations([5])
+
+
+def test_single_group_message_uses_its_own_stream():
+    layout = GroupLayout(8)
+    assert layout.stream_for_destinations(frozenset({5})) == 5
+
+
+def test_multi_group_message_uses_the_all_stream():
+    layout = GroupLayout(8)
+    assert layout.stream_for_destinations(frozenset({2, 3})) == GroupLayout.ALL_STREAM_ID
+
+
+def test_all_groups_marker_uses_all_stream_even_with_one_thread():
+    """With MPL=1 the prototype still routes 'all groups' through g_all."""
+    layout = GroupLayout(1)
+    assert layout.stream_for_destinations(ALL_GROUPS) == GroupLayout.ALL_STREAM_ID
+
+
+def test_threads_for_destinations_sorted():
+    layout = GroupLayout(8)
+    assert layout.threads_for_destinations(frozenset({7, 2})) == [2, 7]
+
+
+def test_delivering_threads_single_group():
+    layout = GroupLayout(8)
+    assert layout.delivering_threads(frozenset({3})) == [3]
+
+
+def test_delivering_threads_multi_group_is_everyone():
+    layout = GroupLayout(4)
+    assert layout.delivering_threads(frozenset({1, 3})) == [1, 2, 3, 4]
+
+
+def test_group_str_and_identity():
+    layout = GroupLayout(2)
+    assert str(layout.all_group) == "g_all"
+    assert layout.all_group.group_id == 0

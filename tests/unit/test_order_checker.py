@@ -1,0 +1,68 @@
+"""Unit tests for the atomic multicast order checker."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.multicast import OrderChecker
+
+
+def test_clean_history_passes_all_checks():
+    checker = OrderChecker()
+    checker.expect("m1", ["s1", "s2"])
+    checker.expect("m2", ["s1", "s2"])
+    for subscriber in ("s1", "s2"):
+        checker.record(subscriber, "m1")
+        checker.record(subscriber, "m2")
+    assert checker.check_all()
+
+
+def test_duplicate_delivery_detected():
+    checker = OrderChecker()
+    checker.record("s1", "m1")
+    checker.record("s1", "m1")
+    with pytest.raises(ProtocolError):
+        checker.check_no_duplicates()
+
+
+def test_agreement_violation_detected():
+    checker = OrderChecker()
+    checker.expect("m1", ["s1", "s2"])
+    checker.record("s1", "m1")
+    with pytest.raises(ProtocolError):
+        checker.check_agreement()
+
+
+def test_cyclic_order_detected():
+    checker = OrderChecker()
+    checker.record("s1", "a")
+    checker.record("s1", "b")
+    checker.record("s2", "b")
+    checker.record("s2", "a")
+    with pytest.raises(ProtocolError):
+        checker.check_acyclic_order()
+
+
+def test_pairwise_inconsistency_detected():
+    checker = OrderChecker()
+    for message in ("a", "b", "c"):
+        checker.record("s1", message)
+    for message in ("a", "c", "b"):
+        checker.record("s2", message)
+    with pytest.raises(ProtocolError):
+        checker.check_pairwise_consistency()
+
+
+def test_disjoint_deliveries_are_acyclic():
+    checker = OrderChecker()
+    checker.record("s1", "a")
+    checker.record("s2", "b")
+    assert checker.check_acyclic_order()
+    assert checker.check_pairwise_consistency()
+
+
+def test_deliveries_of_returns_copy():
+    checker = OrderChecker()
+    checker.record("s1", "a")
+    sequence = checker.deliveries_of("s1")
+    sequence.append("b")
+    assert checker.deliveries_of("s1") == ["a"]

@@ -1,0 +1,220 @@
+"""Unit tests for the Paxos roles (acceptor, coordinator, learner) and the log."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.consensus import (
+    Accept,
+    Accepted,
+    Acceptor,
+    Coordinator,
+    Decision,
+    InstanceLog,
+    Learner,
+    Nack,
+    Prepare,
+    Promise,
+)
+
+
+def make_quorum(num_acceptors=3):
+    acceptors = [Acceptor(i) for i in range(num_acceptors)]
+    coordinator = Coordinator(coordinator_id=10, acceptor_ids=[a.acceptor_id for a in acceptors])
+    for prepare in coordinator.start_phase1():
+        for acceptor in acceptors:
+            coordinator.receive(acceptor.receive(prepare))
+    return coordinator, acceptors
+
+
+# ----------------------------------------------------------------------
+# Acceptor
+# ----------------------------------------------------------------------
+def test_acceptor_promises_higher_ballot():
+    acceptor = Acceptor(0)
+    reply = acceptor.on_prepare(Prepare(ballot=(1, 1), sender=1))
+    assert isinstance(reply, Promise)
+    assert acceptor.promised_ballot == (1, 1)
+
+
+def test_acceptor_nacks_lower_prepare():
+    acceptor = Acceptor(0)
+    acceptor.on_prepare(Prepare(ballot=(5, 1), sender=1))
+    reply = acceptor.on_prepare(Prepare(ballot=(2, 2), sender=2))
+    assert isinstance(reply, Nack)
+    assert reply.promised == (5, 1)
+
+
+def test_acceptor_accepts_value_at_promised_ballot():
+    acceptor = Acceptor(0)
+    acceptor.on_prepare(Prepare(ballot=(1, 1), sender=1))
+    reply = acceptor.on_accept(Accept(ballot=(1, 1), instance=0, value="v", sender=1))
+    assert isinstance(reply, Accepted)
+    assert acceptor.accepted[0] == ((1, 1), "v")
+
+
+def test_acceptor_nacks_lower_accept():
+    acceptor = Acceptor(0)
+    acceptor.on_prepare(Prepare(ballot=(5, 1), sender=1))
+    reply = acceptor.on_accept(Accept(ballot=(1, 2), instance=0, value="v", sender=2))
+    assert isinstance(reply, Nack)
+
+
+def test_acceptor_promise_reports_previously_accepted_values():
+    acceptor = Acceptor(0)
+    acceptor.on_prepare(Prepare(ballot=(1, 1), sender=1))
+    acceptor.on_accept(Accept(ballot=(1, 1), instance=3, value="old", sender=1))
+    promise = acceptor.on_prepare(Prepare(ballot=(2, 2), sender=2))
+    assert promise.accepted == {3: ((1, 1), "old")}
+
+
+def test_acceptor_rejects_unknown_message_type():
+    with pytest.raises(TypeError):
+        Acceptor(0).receive(Decision(instance=0, value="x"))
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def test_coordinator_requires_acceptors():
+    with pytest.raises(ProtocolError):
+        Coordinator(coordinator_id=1, acceptor_ids=[])
+
+
+def test_coordinator_phase1_completes_with_quorum():
+    coordinator, _ = make_quorum()
+    assert coordinator.phase1_complete
+
+
+def test_coordinator_propose_before_phase1_raises():
+    coordinator = Coordinator(coordinator_id=1, acceptor_ids=[0, 1, 2])
+    with pytest.raises(ProtocolError):
+        coordinator.propose("value")
+
+
+def test_coordinator_assigns_consecutive_instances():
+    coordinator, _ = make_quorum()
+    first, _ = coordinator.propose("a")
+    second, _ = coordinator.propose("b")
+    assert (first, second) == (0, 1)
+
+
+def test_coordinator_decides_on_quorum_of_accepted():
+    coordinator, acceptors = make_quorum()
+    _instance, accepts = coordinator.propose("value")
+    decisions = []
+    for accept in accepts:
+        for acceptor in acceptors:
+            decisions.extend(coordinator.receive(acceptor.receive(accept)))
+    assert len(decisions) == 1
+    assert decisions[0].value == "value"
+    assert coordinator.decided == {0: "value"}
+
+
+def test_coordinator_decision_requires_majority():
+    coordinator, acceptors = make_quorum()
+    _instance, accepts = coordinator.propose("value")
+    # Only one acceptor votes: no decision yet (quorum is 2 of 3).
+    replies = coordinator.receive(acceptors[0].receive(accepts[0]))
+    assert replies == []
+    assert coordinator.decided == {}
+
+
+def test_coordinator_ignores_stale_ballot_votes():
+    coordinator, _ = make_quorum()
+    coordinator.propose("value")
+    stale = Accepted(ballot=(0, 99), instance=0, value="other", sender=0)
+    assert coordinator.receive(stale) == []
+
+
+def test_coordinator_recovers_values_from_promises():
+    """A new coordinator must complete instances an old one left behind."""
+    old_coordinator, acceptors = make_quorum()
+    _instance, accepts = old_coordinator.propose("orphan")
+    # Only acceptor 0 accepted the value before the old coordinator failed.
+    acceptors[0].receive(accepts[0])
+
+    new_coordinator = Coordinator(coordinator_id=20, acceptor_ids=[0, 1, 2], round_number=1)
+    outbound = []
+    for prepare in new_coordinator.start_phase1():
+        for acceptor in acceptors:
+            outbound.extend(new_coordinator.receive(acceptor.receive(prepare)))
+    # The recovered value is re-proposed for the same instance.
+    assert any(
+        isinstance(message, Accept) and message.value == "orphan" and message.instance == 0
+        for message in outbound
+    )
+
+
+def test_coordinator_steps_up_ballot_on_nack():
+    coordinator, acceptors = make_quorum()
+    # A competing coordinator with a higher ballot takes over the acceptors.
+    rival = Coordinator(coordinator_id=99, acceptor_ids=[0, 1, 2], round_number=7)
+    for prepare in rival.start_phase1():
+        for acceptor in acceptors:
+            rival.receive(acceptor.receive(prepare))
+    _instance, accepts = coordinator.propose("late")
+    nack = acceptors[0].receive(accepts[0])
+    assert isinstance(nack, Nack)
+    retry = coordinator.receive(nack)
+    assert retry and isinstance(retry[0], Prepare)
+    assert coordinator.ballot > (7, 99)
+    assert not coordinator.phase1_complete
+
+
+# ----------------------------------------------------------------------
+# Learner
+# ----------------------------------------------------------------------
+def test_learner_learns_from_quorum_of_accepted():
+    learner = Learner(num_acceptors=3)
+    assert learner.on_accepted(Accepted(ballot=(1, 1), instance=0, value="v", sender=0)) is None
+    learned = learner.on_accepted(Accepted(ballot=(1, 1), instance=0, value="v", sender=1))
+    assert learned == (0, "v")
+
+
+def test_learner_does_not_mix_ballots():
+    learner = Learner(num_acceptors=3)
+    learner.on_accepted(Accepted(ballot=(1, 1), instance=0, value="v", sender=0))
+    assert learner.on_accepted(Accepted(ballot=(2, 2), instance=0, value="v", sender=1)) is None
+
+
+def test_learner_learns_from_decision():
+    learner = Learner(num_acceptors=3)
+    assert learner.on_decision(Decision(instance=5, value="x")) == (5, "x")
+    assert learner.on_decision(Decision(instance=5, value="x")) is None
+
+
+def test_learner_rejects_unknown_message():
+    with pytest.raises(TypeError):
+        Learner(3).receive(Prepare(ballot=(1, 1), sender=0))
+
+
+# ----------------------------------------------------------------------
+# InstanceLog
+# ----------------------------------------------------------------------
+def test_instance_log_delivers_in_order():
+    log = InstanceLog()
+    assert log.append(0, "a") == ["a"]
+    assert log.append(1, "b") == ["b"]
+
+
+def test_instance_log_buffers_gaps():
+    log = InstanceLog()
+    assert log.append(1, "b") == []
+    assert log.pending == 1
+    assert log.append(0, "a") == ["a", "b"]
+    assert log.pending == 0
+
+
+def test_instance_log_ignores_duplicates():
+    log = InstanceLog()
+    log.append(0, "a")
+    assert log.append(0, "a") == []
+    assert log.delivered_count == 1
+
+
+def test_instance_log_counts_deliveries():
+    log = InstanceLog()
+    for instance in (2, 0, 1):
+        log.append(instance, str(instance))
+    assert log.delivered_count == 3
+    assert log.next_instance == 3

@@ -1,0 +1,92 @@
+"""Unit tests for the execution-mode planning logic (Algorithm 1, server side)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core import plan_execution
+from repro.multicast import ALL_GROUPS
+
+
+def test_single_group_on_own_thread_is_parallel_mode():
+    plan = plan_execution(frozenset({3}), thread_index=3, mpl=8)
+    assert plan.mode == "parallel"
+    assert plan.executes
+    assert plan.executor == 3
+
+
+def test_single_group_on_other_thread_is_ignored():
+    plan = plan_execution(frozenset({3}), thread_index=4, mpl=8)
+    assert plan.mode == "ignore"
+    assert not plan.executes
+
+
+def test_all_groups_lowest_thread_executes():
+    plan = plan_execution(ALL_GROUPS, thread_index=1, mpl=4)
+    assert plan.mode == "execute"
+    assert plan.executor == 1
+    assert plan.peers == (2, 3, 4)
+
+
+def test_all_groups_other_threads_assist():
+    plan = plan_execution(ALL_GROUPS, thread_index=3, mpl=4)
+    assert plan.mode == "assist"
+    assert plan.executor == 1
+    assert not plan.executes
+
+
+def test_subset_destinations_pick_minimum_as_executor():
+    """Line 16: e <- min{j : g_j in gamma}."""
+    plan = plan_execution(frozenset({5, 2, 7}), thread_index=2, mpl=8)
+    assert plan.mode == "execute"
+    assert plan.peers == (5, 7)
+    assist = plan_execution(frozenset({5, 2, 7}), thread_index=7, mpl=8)
+    assert assist.mode == "assist"
+    assert assist.executor == 2
+
+
+def test_thread_outside_destinations_ignores_synchronous_command():
+    plan = plan_execution(frozenset({2, 3}), thread_index=4, mpl=8)
+    assert plan.mode == "ignore"
+
+
+def test_all_groups_with_single_thread_is_parallel():
+    plan = plan_execution(ALL_GROUPS, thread_index=1, mpl=1)
+    assert plan.mode == "parallel"
+
+
+def test_invalid_thread_index_rejected():
+    with pytest.raises(ProtocolError):
+        plan_execution(frozenset({1}), thread_index=0, mpl=4)
+    with pytest.raises(ProtocolError):
+        plan_execution(frozenset({1}), thread_index=5, mpl=4)
+
+
+def test_empty_destination_set_rejected():
+    with pytest.raises(ProtocolError):
+        plan_execution(frozenset(), thread_index=1, mpl=4)
+
+
+def test_destination_outside_mpl_rejected():
+    with pytest.raises(ProtocolError):
+        plan_execution(frozenset({9}), thread_index=1, mpl=4)
+
+
+def test_exactly_one_executor_per_command():
+    """For any destination set, exactly one thread executes the command."""
+    destinations = frozenset({2, 4, 6})
+    executors = [
+        plan_execution(destinations, thread_index=i, mpl=8).executes
+        for i in range(1, 9)
+    ]
+    assert sum(executors) == 1
+
+
+def test_every_destination_thread_participates():
+    destinations = frozenset({2, 4, 6})
+    modes = {
+        i: plan_execution(destinations, thread_index=i, mpl=8).mode
+        for i in range(1, 9)
+    }
+    assert modes[2] == "execute"
+    assert modes[4] == modes[6] == "assist"
+    assert all(modes[i] == "ignore" for i in (1, 3, 5, 7, 8))

@@ -1,0 +1,293 @@
+"""Unit tests for the shared simulation-deployment machinery."""
+
+import pytest
+
+from repro.common.config import CostModelConfig, MulticastConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import SeededRNG
+from repro.replication.base import (
+    BarrierBoard,
+    ClientPool,
+    SimStream,
+    StreamInbox,
+    call_after,
+)
+from repro.sim import Environment
+
+
+class _ScriptedGenerator:
+    """A tiny deterministic workload generator for client-pool tests."""
+
+    def __init__(self):
+        self.count = 0
+
+    def next_invocation(self):
+        self.count += 1
+        return "read", {"key": self.count}, 48
+
+
+# ----------------------------------------------------------------------
+# call_after
+# ----------------------------------------------------------------------
+def test_call_after_runs_callback_at_delay(env):
+    fired = []
+    call_after(env, 2.0, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [2.0]
+
+
+# ----------------------------------------------------------------------
+# ClientPool
+# ----------------------------------------------------------------------
+def make_pool(env, num_clients=2, window=3):
+    submitted = []
+    pool = ClientPool(
+        env=env,
+        generator=_ScriptedGenerator(),
+        submit_fn=submitted.append,
+        num_clients=num_clients,
+        window=window,
+        costs=CostModelConfig(),
+    )
+    return pool, submitted
+
+
+def test_client_pool_rejects_bad_sizes(env):
+    with pytest.raises(ConfigurationError):
+        ClientPool(env, _ScriptedGenerator(), lambda c: None, 0, 1, CostModelConfig())
+
+
+def test_client_pool_submits_initial_windows(env):
+    pool, submitted = make_pool(env, num_clients=2, window=3)
+    pool.start()
+    assert len(submitted) == 6
+    assert pool.outstanding() == 6
+    # Every uid is unique.
+    assert len({command.uid for command in submitted}) == 6
+
+
+def test_client_pool_resubmits_on_completion(env):
+    pool, submitted = make_pool(env, num_clients=1, window=2)
+    pool.start()
+    first = submitted[0]
+    pool.deliver_response(first.uid, completed_at=0.001)
+    assert len(submitted) == 3
+    assert pool.outstanding() == 2
+
+
+def test_client_pool_ignores_duplicate_responses(env):
+    pool, submitted = make_pool(env, num_clients=1, window=1)
+    pool.start()
+    uid = submitted[0].uid
+    pool.deliver_response(uid, completed_at=0.001)
+    pool.deliver_response(uid, completed_at=0.002)  # from the second replica
+    assert len(submitted) == 2
+
+
+def test_client_pool_latency_recorded_only_inside_window(env):
+    pool, submitted = make_pool(env, num_clients=1, window=4)
+    pool.throughput.open_window(0.010)
+    pool.throughput.close_window(0.020)
+    pool.start()
+    pool.deliver_response(submitted[0].uid, completed_at=0.005)   # warmup
+    pool.deliver_response(submitted[1].uid, completed_at=0.015)   # measured
+    pool.deliver_response(submitted[2].uid, completed_at=0.025)   # after close
+    assert pool.throughput.completed == 1
+    assert len(pool.latency) == 1
+
+
+def test_client_pool_stops_resubmitting_when_stopped(env):
+    pool, submitted = make_pool(env, num_clients=1, window=2)
+    pool.start()
+    pool.stopped = True
+    pool.deliver_response(submitted[0].uid, completed_at=0.001)
+    assert len(submitted) == 2
+    assert pool.outstanding() == 1
+
+
+def test_client_pool_latency_includes_network_hops(env):
+    costs = CostModelConfig()
+    pool, submitted = make_pool(env, num_clients=1, window=1)
+    pool.throughput.open_window(0.0)
+    pool.throughput.close_window(1.0)
+    pool.start()
+    pool.deliver_response(submitted[0].uid, completed_at=0.001)
+    assert pool.latency.samples[0] == pytest.approx(0.001 + 2 * costs.net_latency)
+
+
+# ----------------------------------------------------------------------
+# StreamInbox
+# ----------------------------------------------------------------------
+def test_stream_inbox_wakes_waiter_on_offer(env):
+    inbox = StreamInbox(env, [1], policy="timestamp")
+    log = []
+
+    def consumer(env, inbox):
+        while True:
+            batches = inbox.drain()
+            if batches:
+                log.extend(batches)
+                return
+            yield inbox.wait()
+
+    env.process(consumer(env, inbox))
+    call_after(env, 1.0, lambda: inbox.offer(1, 0, 1.0, "batch"))
+    env.run()
+    assert log == ["batch"]
+
+
+def test_stream_inbox_skips_do_not_wake_with_items(env):
+    inbox = StreamInbox(env, [0, 1], policy="timestamp")
+    inbox.offer(1, 0, 5.0, "item")
+    assert inbox.drain() == []          # stream 0 horizon unknown
+    inbox.offer_skip(0, 0, 6.0)
+    assert inbox.drain() == ["item"]
+    inbox.heartbeat(0, 8.0)
+    assert inbox.drain() == []
+
+
+# ----------------------------------------------------------------------
+# BarrierBoard
+# ----------------------------------------------------------------------
+def test_barrier_executor_waits_for_all_peers(env):
+    board = BarrierBoard(env)
+    uid = (1, 1)
+    ready = board.expect(uid, peers=(2, 3))
+    assert not ready.triggered
+    board.signal(uid, 2)
+    assert not ready.triggered
+    board.signal(uid, 3)
+    assert ready.triggered
+
+
+def test_barrier_signals_before_expect_are_remembered(env):
+    board = BarrierBoard(env)
+    uid = (1, 2)
+    board.signal(uid, 2)
+    board.signal(uid, 3)
+    ready = board.expect(uid, peers=(2, 3))
+    assert ready.triggered
+
+
+def test_barrier_complete_releases_waiters_and_cleans_up(env):
+    board = BarrierBoard(env)
+    uid = (1, 3)
+    done = board.done_event(uid)
+    board.expect(uid, peers=())
+    board.complete(uid, when=1.5)
+    assert done.triggered
+    assert done.value == 1.5
+    assert board.pending() == 0
+
+
+def test_barrier_double_complete_rejected(env):
+    board = BarrierBoard(env)
+    uid = (1, 4)
+    board.expect(uid, peers=())
+    board.complete(uid, when=1.0)
+    with pytest.raises(ProtocolError):
+        board.complete(uid, when=2.0)
+
+
+def test_barrier_commands_are_independent(env):
+    board = BarrierBoard(env)
+    ready_a = board.expect(("a", 0), peers=(2,))
+    ready_b = board.expect(("b", 0), peers=(2,))
+    board.signal(("a", 0), 2)
+    assert ready_a.triggered
+    assert not ready_b.triggered
+
+
+# ----------------------------------------------------------------------
+# SimStream
+# ----------------------------------------------------------------------
+class _RecordingSubscriber:
+    def __init__(self):
+        self.batches = []
+        self.skips = []
+
+    def offer(self, stream_id, sequence, timestamp, batch):
+        self.batches.append((stream_id, sequence, timestamp, batch))
+
+    def offer_skip(self, stream_id, sequence, timestamp):
+        self.skips.append((stream_id, sequence, timestamp))
+
+    def heartbeat(self, stream_id, timestamp):  # pragma: no cover - unused
+        pass
+
+
+def make_stream(env, **overrides):
+    config = MulticastConfig(**overrides) if overrides else MulticastConfig()
+    return SimStream(
+        env=env,
+        stream_id=1,
+        multicast_config=config,
+        costs=CostModelConfig(),
+        rng=SeededRNG(3),
+    )
+
+
+def _command(uid, size=48):
+    from repro.core.command import Command
+
+    return Command(uid=uid, name="read", args={"key": uid[1]}, size_bytes=size)
+
+
+def test_stream_orders_and_delivers_batches_in_sequence(env):
+    stream = make_stream(env, batch_max_commands=2, batch_timeout=10e-6)
+    subscriber = _RecordingSubscriber()
+    stream.subscribe(subscriber)
+    for index in range(6):
+        stream.submit(_command((0, index)))
+    env.run(until=0.01)
+    sequences = [sequence for _sid, sequence, _ts, _b in subscriber.batches]
+    assert sequences == sorted(sequences)
+    delivered = [c.uid for _sid, _seq, _ts, batch in subscriber.batches for c in batch.commands]
+    assert delivered == [(0, index) for index in range(6)]
+
+
+def test_stream_flushes_partial_batches_after_timeout(env):
+    stream = make_stream(env, batch_max_commands=100, batch_timeout=20e-6)
+    subscriber = _RecordingSubscriber()
+    stream.subscribe(subscriber)
+    stream.submit(_command((0, 0)))
+    env.run(until=0.005)
+    assert len(subscriber.batches) == 1
+    assert len(subscriber.batches[0][3].commands) == 1
+
+
+def test_stream_emits_skips_when_idle(env):
+    stream = make_stream(env, skip_interval=100e-6)
+    subscriber = _RecordingSubscriber()
+    stream.subscribe(subscriber)
+    env.run(until=0.001)
+    assert len(subscriber.skips) >= 5
+    sequences = [sequence for _sid, sequence, _ts in subscriber.skips]
+    assert sequences == sorted(sequences)
+
+
+def test_stream_paxos_coordinator_decides_every_batch(env):
+    stream = make_stream(env, batch_max_commands=4)
+    subscriber = _RecordingSubscriber()
+    stream.subscribe(subscriber)
+    for index in range(12):
+        stream.submit(_command((1, index)))
+    env.run(until=0.01)
+    assert len(stream.coordinator.decided) == len(
+        [b for b in subscriber.batches]
+    )
+    assert stream.commands_submitted == 12
+
+
+def test_stream_delivery_is_fifo_per_subscriber(env):
+    stream = make_stream(env, batch_max_commands=1)
+    first, second = _RecordingSubscriber(), _RecordingSubscriber()
+    stream.subscribe(first)
+    stream.subscribe(second)
+    for index in range(20):
+        stream.submit(_command((2, index)))
+    env.run(until=0.01)
+    for subscriber in (first, second):
+        times = [ts for _sid, _seq, ts, _b in subscriber.batches]
+        assert times == sorted(times)
+        assert len(subscriber.batches) == 20

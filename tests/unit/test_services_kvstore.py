@@ -1,0 +1,109 @@
+"""Unit tests for the key-value store service."""
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.core.command import Command
+from repro.core.descriptor import Keyed, Serial
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer, build_kvstore_spec
+
+
+@pytest.fixture
+def server():
+    return KeyValueStoreServer(initial_keys=10)
+
+
+def test_spec_declares_the_papers_four_commands():
+    assert set(KVSTORE_SPEC.command_names()) == {"insert", "delete", "read", "update"}
+
+
+def test_spec_routing_matches_papers_cdep():
+    """Inserts/deletes depend on everything; reads/updates are keyed."""
+    assert isinstance(KVSTORE_SPEC.routing("insert"), Serial)
+    assert isinstance(KVSTORE_SPEC.routing("delete"), Serial)
+    assert isinstance(KVSTORE_SPEC.routing("read"), Keyed)
+    assert isinstance(KVSTORE_SPEC.routing("update"), Keyed)
+    assert KVSTORE_SPEC.writes("update") and not KVSTORE_SPEC.writes("read")
+
+
+def test_build_spec_returns_fresh_instance():
+    assert build_kvstore_spec() is not KVSTORE_SPEC
+
+
+def test_server_preloads_initial_keys(server):
+    assert len(server) == 10
+    err, value = server.execute("read", {"key": 3})
+    assert err == KeyValueStoreServer.OK
+
+
+def test_read_missing_key_returns_error(server):
+    err, value = server.execute("read", {"key": 999})
+    assert err == KeyValueStoreServer.ERR_NOT_FOUND
+    assert value is None
+
+
+def test_insert_then_read_roundtrip(server):
+    assert server.execute("insert", {"key": 50, "value": b"hello"})[0] == server.OK
+    assert server.execute("read", {"key": 50}) == (server.OK, b"hello")
+
+
+def test_insert_duplicate_returns_error(server):
+    assert server.execute("insert", {"key": 3, "value": b"x"})[0] == server.ERR_EXISTS
+
+
+def test_update_existing_key(server):
+    assert server.execute("update", {"key": 3, "value": b"new"})[0] == server.OK
+    assert server.execute("read", {"key": 3})[1] == b"new"
+
+
+def test_update_missing_key_returns_error(server):
+    assert server.execute("update", {"key": 999, "value": b"x"})[0] == server.ERR_NOT_FOUND
+
+
+def test_delete_existing_and_missing(server):
+    assert server.execute("delete", {"key": 3})[0] == server.OK
+    assert server.execute("delete", {"key": 3})[0] == server.ERR_NOT_FOUND
+    assert len(server) == 9
+
+
+def test_unknown_command_raises(server):
+    with pytest.raises(ServiceError):
+        server.execute("scan", {"key": 0})
+
+
+def test_apply_wraps_result_in_response(server):
+    response = server.apply(Command(uid=(1, 1), name="read", args={"key": 3}))
+    assert response.uid == (1, 1)
+    assert response.error is None
+    failure = server.apply(Command(uid=(1, 2), name="read", args={"key": 999}))
+    assert failure.error is not None
+
+
+def test_snapshot_and_checksum_reflect_state(server):
+    snapshot = server.snapshot()
+    assert len(snapshot) == 10
+    checksum_before = server.checksum()
+    server.execute("update", {"key": 0, "value": b"changed"})
+    assert server.checksum() != checksum_before
+
+
+def test_two_servers_with_same_history_converge():
+    first = KeyValueStoreServer(initial_keys=5)
+    second = KeyValueStoreServer(initial_keys=5)
+    history = [
+        ("insert", {"key": 10, "value": b"a"}),
+        ("update", {"key": 1, "value": b"b"}),
+        ("delete", {"key": 2}),
+        ("insert", {"key": 11, "value": b"c"}),
+    ]
+    for name, args in history:
+        first.execute(name, args)
+        second.execute(name, args)
+    assert first.snapshot() == second.snapshot()
+    assert first.checksum() == second.checksum()
+
+
+def test_commands_executed_counter(server):
+    server.execute("read", {"key": 1})
+    server.execute("read", {"key": 2})
+    assert server.commands_executed == 2

@@ -1,0 +1,107 @@
+"""Unit tests for the simulation environment (clock and scheduler)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=10.0).now == 10.0
+
+
+def test_step_on_empty_queue_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_returns_none_when_empty(env):
+    assert env.peek() is None
+
+
+def test_peek_returns_next_event_time(env):
+    env.timeout(3.0)
+    env.timeout(1.5)
+    assert env.peek() == 1.5
+
+
+def test_run_until_time_stops_clock_at_deadline(env):
+    env.timeout(1.0)
+    env.run(until=5.0)
+    assert env.now == 5.0
+
+
+def test_run_until_past_deadline_raises(env):
+    env.run(until=2.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_its_value(env):
+    def proc(env):
+        yield env.timeout(2)
+        return 99
+
+    process = env.process(proc(env))
+    assert env.run(until=process) == 99
+    assert env.now == 2
+
+
+def test_run_until_event_raises_if_queue_empties(env):
+    event = env.event()  # never triggered
+    with pytest.raises(SimulationError):
+        env.run(until=event)
+
+
+def test_run_until_failed_event_raises_its_exception(env):
+    def proc(env):
+        yield env.timeout(1)
+        raise KeyError("missing")
+
+    process = env.process(proc(env))
+    with pytest.raises(KeyError):
+        env.run(until=process)
+
+
+def test_run_to_exhaustion_processes_everything(env):
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((env.now, name))
+
+    env.process(proc(env, "a", 3))
+    env.process(proc(env, "b", 1))
+    env.process(proc(env, "c", 2))
+    env.run()
+    assert order == [(1, "b"), (2, "c"), (3, "a")]
+
+
+def test_events_at_same_time_run_in_schedule_order(env):
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    env.process(proc(env, "first"))
+    env.process(proc(env, "second"))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_clock_is_monotonic_across_many_events(env):
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in (5, 1, 4, 2, 3):
+        env.process(proc(env, delay))
+    env.run()
+    assert observed == sorted(observed)

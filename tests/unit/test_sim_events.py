@@ -1,0 +1,212 @@
+"""Unit tests for the simulation kernel's event primitives."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Environment, Event
+
+
+def test_event_starts_untriggered(env):
+    event = env.event()
+    assert not event.triggered
+
+
+def test_event_succeed_sets_value(env):
+    event = env.event()
+    event.succeed(42)
+    assert event.triggered
+    assert event.ok
+    assert event.value == 42
+
+
+def test_event_succeed_twice_raises(env):
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_event_fail_requires_exception(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")
+
+
+def test_event_fail_marks_not_ok(env):
+    event = env.event()
+    event.fail(ValueError("boom"))
+    assert event.triggered
+    assert not event.ok
+
+
+def test_event_value_before_trigger_raises(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_try_succeed_returns_true_once(env):
+    event = env.event()
+    assert event.try_succeed(1) is True
+    assert event.try_succeed(2) is False
+    assert event.value == 1
+
+
+def test_timeout_negative_delay_raises(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_fires_at_delay(env):
+    fired = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert fired == [2.5]
+
+
+def test_timeout_carries_value(env):
+    results = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        results.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == ["hello"]
+
+
+def test_process_returns_value(env):
+    def proc(env):
+        yield env.timeout(1)
+        return "done"
+
+    process = env.process(proc(env))
+    assert env.run(until=process) == "done"
+
+
+def test_process_yielding_non_event_fails(env):
+    def proc(env):
+        yield 42
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.triggered
+    assert not process.ok
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def failing(env):
+        yield env.timeout(1)
+        raise RuntimeError("inner failure")
+
+    def waiter(env, child):
+        try:
+            yield child
+        except RuntimeError as error:
+            return f"caught {error}"
+
+    child = env.process(failing(env))
+    parent = env.process(waiter(env, child))
+    assert env.run(until=parent) == "caught inner failure"
+
+
+def test_process_waits_on_untriggered_event(env):
+    log = []
+
+    def waiter(env, event):
+        value = yield event
+        log.append((env.now, value))
+
+    def trigger(env, event):
+        yield env.timeout(3)
+        event.succeed("go")
+
+    event = env.event()
+    env.process(waiter(env, event))
+    env.process(trigger(env, event))
+    env.run()
+    assert log == [(3, "go")]
+
+
+def test_process_continues_on_already_triggered_event(env):
+    log = []
+
+    def proc(env):
+        event = env.event()
+        event.succeed("fast")
+        value = yield event
+        log.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(0, "fast")]
+
+
+def test_process_is_alive_until_completion(env):
+    def proc(env):
+        yield env.timeout(5)
+
+    process = env.process(proc(env))
+    env.run(until=2)
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_any_of_triggers_on_first(env):
+    def proc(env):
+        first = env.timeout(1, value="a")
+        second = env.timeout(5, value="b")
+        result = yield env.any_of([first, second])
+        return (env.now, result)
+
+    process = env.process(proc(env))
+    now, result = env.run(until=process)
+    assert now == 1
+    assert result == {0: "a"}
+
+
+def test_all_of_waits_for_all(env):
+    def proc(env):
+        first = env.timeout(1, value="a")
+        second = env.timeout(5, value="b")
+        result = yield env.all_of([first, second])
+        return (env.now, result)
+
+    process = env.process(proc(env))
+    now, result = env.run(until=process)
+    assert now == 5
+    assert result == {0: "a", 1: "b"}
+
+
+def test_all_of_empty_list_triggers_immediately(env):
+    composite = env.all_of([])
+    assert composite.triggered
+
+
+def test_two_processes_interleave_in_time_order(env):
+    log = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        log.append(name)
+
+    env.process(proc(env, "slow", 2))
+    env.process(proc(env, "fast", 1))
+    env.run()
+    assert log == ["fast", "slow"]
+
+
+def test_event_callbacks_receive_event(env):
+    seen = []
+    event = Event(env)
+    event.callbacks.append(lambda e: seen.append(e.value))
+    event.succeed(7)
+    env.run()
+    assert seen == [7]

@@ -1,0 +1,173 @@
+"""Unit tests for Store (FIFO queue) and Resource (counted resource)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Resource, Store
+
+
+def test_store_put_then_get(env):
+    store = Store(env)
+    store.put("x")
+
+    def proc(env, store):
+        item = yield store.get()
+        return item
+
+    process = env.process(proc(env, store))
+    assert env.run(until=process) == "x"
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    log = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4)
+        store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert log == [(4, "late")]
+
+
+def test_store_serves_getters_in_fifo_order(env):
+    store = Store(env)
+    received = []
+
+    def consumer(env, store, name):
+        item = yield store.get()
+        received.append((name, item))
+
+    def producer(env, store):
+        yield env.timeout(1)
+        store.put(1)
+        store.put(2)
+
+    env.process(consumer(env, store, "first"))
+    env.process(consumer(env, store, "second"))
+    env.process(producer(env, store))
+    env.run()
+    assert received == [("first", 1), ("second", 2)]
+
+
+def test_store_len_counts_buffered_items(env):
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_store_get_nowait_returns_none_when_empty(env):
+    store = Store(env)
+    assert store.get_nowait() is None
+    store.put("a")
+    assert store.get_nowait() == "a"
+
+
+def test_store_peek_all_does_not_consume(env):
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert store.peek_all() == [1, 2]
+    assert len(store) == 2
+
+
+def test_store_preserves_item_order(env):
+    store = Store(env)
+    out = []
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    for value in ("a", "b", "c"):
+        store.put(value)
+    env.process(consumer(env, store))
+    env.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_resource_capacity_must_be_positive(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity(env):
+    resource = Resource(env, capacity=2)
+    first = resource.request()
+    second = resource.request()
+    third = resource.request()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_resource_release_wakes_waiter(env):
+    resource = Resource(env, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    assert not second.triggered
+    resource.release(first)
+    assert second.triggered
+
+
+def test_resource_release_without_request_raises(env):
+    resource = Resource(env, capacity=1)
+    granted = resource.request()
+    resource.release(granted)
+    with pytest.raises(SimulationError):
+        resource.release(granted)
+
+
+def test_resource_release_ungranted_request_cancels_it(env):
+    resource = Resource(env, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    resource.release(second)  # cancel while still queued
+    assert resource.queue_length == 0
+    resource.release(first)
+    assert resource.in_use == 0
+
+
+def test_resource_serializes_processes(env):
+    resource = Resource(env, capacity=1)
+    spans = []
+
+    def worker(env, resource, name, hold):
+        request = resource.request()
+        yield request
+        start = env.now
+        yield env.timeout(hold)
+        resource.release(request)
+        spans.append((name, start, env.now))
+
+    env.process(worker(env, resource, "a", 2))
+    env.process(worker(env, resource, "b", 3))
+    env.run()
+    assert spans == [("a", 0, 2), ("b", 2, 5)]
+
+
+def test_resource_parallelism_matches_capacity(env):
+    resource = Resource(env, capacity=3)
+    finished = []
+
+    def worker(env, resource, name):
+        request = resource.request()
+        yield request
+        yield env.timeout(1)
+        resource.release(request)
+        finished.append((name, env.now))
+
+    for name in range(6):
+        env.process(worker(env, resource, name))
+    env.run()
+    # Six unit-length jobs over capacity 3 finish in two waves.
+    assert [when for _name, when in finished] == [1, 1, 1, 2, 2, 2]

@@ -1,0 +1,31 @@
+"""Unit tests for the plain-text table formatter."""
+
+from repro.harness import format_table
+
+
+def test_empty_rows():
+    assert format_table([]) == "(no rows)"
+
+
+def test_renders_headers_and_rows():
+    text = format_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "b"]
+    assert "1" in lines[2] and "x" in lines[2]
+
+
+def test_column_selection_and_order():
+    text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+    assert text.splitlines()[0].split() == ["c", "a"]
+    assert "2" not in text.splitlines()[2]
+
+
+def test_title_is_first_line():
+    text = format_table([{"a": 1}], title="My table")
+    assert text.splitlines()[0] == "My table"
+
+
+def test_floats_rounded_and_missing_values_dashed():
+    text = format_table([{"a": 3.14159, "b": None}])
+    assert "3.14" in text
+    assert "-" in text.splitlines()[-1]

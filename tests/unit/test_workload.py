@@ -1,0 +1,167 @@
+"""Unit tests for workload generators and key distributions."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import SeededRNG
+from repro.workload import (
+    CommandMix,
+    DEPENDENT_ONLY_MIX,
+    KVWorkloadGenerator,
+    NetFSWorkloadGenerator,
+    READ_ONLY_MIX,
+    UniformKeys,
+    ZipfianKeys,
+    make_distribution,
+    mixed_workload,
+    skewed_update_mix,
+)
+
+
+# ----------------------------------------------------------------------
+# Distributions
+# ----------------------------------------------------------------------
+def test_uniform_keys_stay_in_range():
+    dist = UniformKeys(100, rng=SeededRNG(1))
+    keys = [dist.next_key() for _ in range(1000)]
+    assert all(0 <= key < 100 for key in keys)
+    assert len(set(keys)) > 50
+
+
+def test_uniform_rejects_empty_keyspace():
+    with pytest.raises(ConfigurationError):
+        UniformKeys(0)
+
+
+def test_zipfian_keys_stay_in_range():
+    dist = ZipfianKeys(1000, theta=1.0, rng=SeededRNG(2))
+    keys = [dist.next_key() for _ in range(2000)]
+    assert all(0 <= key < 1000 for key in keys)
+
+
+def test_zipfian_is_skewed():
+    """The most popular key should receive far more than a uniform share."""
+    dist = ZipfianKeys(10_000, theta=1.0, rng=SeededRNG(3), scramble=False)
+    ranks = [dist.next_rank() for _ in range(20_000)]
+    top_share = ranks.count(0) / len(ranks)
+    assert top_share > 0.05  # uniform share would be 0.0001
+
+
+def test_zipfian_scramble_spreads_hot_keys():
+    scrambled = ZipfianKeys(10_000, theta=1.0, rng=SeededRNG(4), scramble=True)
+    keys = [scrambled.next_key() for _ in range(1000)]
+    # The hottest key is no longer key 0 once scrambled.
+    assert keys.count(0) < max(keys.count(key) for key in set(keys)) + 1
+
+
+def test_zipfian_rejects_bad_theta():
+    with pytest.raises(ConfigurationError):
+        ZipfianKeys(100, theta=0.0)
+
+
+def test_zipfian_large_keyspace_constructs_quickly():
+    dist = ZipfianKeys(10_000_000, theta=1.0, rng=SeededRNG(5))
+    assert 0 <= dist.next_key() < 10_000_000
+
+
+def test_make_distribution_factory():
+    assert isinstance(make_distribution("uniform", 10), UniformKeys)
+    assert isinstance(make_distribution("zipfian", 10), ZipfianKeys)
+    with pytest.raises(ConfigurationError):
+        make_distribution("pareto", 10)
+
+
+# ----------------------------------------------------------------------
+# Mixes
+# ----------------------------------------------------------------------
+def test_command_mix_must_sum_to_one():
+    with pytest.raises(ConfigurationError):
+        CommandMix({"read": 0.7})
+
+
+def test_command_mix_rejects_negative_fraction():
+    with pytest.raises(ConfigurationError):
+        CommandMix({"read": 1.5, "update": -0.5})
+
+
+def test_command_mix_respects_fractions():
+    mix = CommandMix({"read": 0.9, "update": 0.1}, rng=SeededRNG(7))
+    names = [mix.next_name() for _ in range(5000)]
+    read_share = names.count("read") / len(names)
+    assert 0.85 < read_share < 0.95
+
+
+def test_mixed_workload_builder():
+    mix = mixed_workload(0.10)
+    assert mix["read"] == pytest.approx(0.9)
+    assert mix["insert"] == pytest.approx(0.05)
+    assert sum(mix.values()) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        mixed_workload(1.5)
+
+
+def test_predefined_mixes_sum_to_one():
+    for mix in (READ_ONLY_MIX, DEPENDENT_ONLY_MIX, skewed_update_mix()):
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def test_kv_generator_read_only_produces_reads():
+    generator = KVWorkloadGenerator(mix=READ_ONLY_MIX, key_space=1000)
+    names = {generator.next_invocation()[0] for _ in range(100)}
+    assert names == {"read"}
+
+
+def test_kv_generator_includes_value_for_writes():
+    generator = KVWorkloadGenerator(mix={"insert": 1.0}, key_space=10, value_size=8)
+    name, args, size = generator.next_invocation()
+    assert name == "insert"
+    assert len(args["value"]) == 8
+    assert size > KVWorkloadGenerator.REQUEST_OVERHEAD
+
+
+def test_kv_generator_is_reproducible_for_same_seed():
+    first = KVWorkloadGenerator(key_space=100, seed=5)
+    second = KVWorkloadGenerator(key_space=100, seed=5)
+    assert [first.next_invocation() for _ in range(10)] == [
+        second.next_invocation() for _ in range(10)
+    ]
+
+
+def test_kv_generator_counts_invocations():
+    generator = KVWorkloadGenerator(key_space=10)
+    for _ in range(5):
+        generator.next_invocation()
+    assert generator.generated == 5
+
+
+def test_netfs_generator_read_requests_are_small():
+    generator = NetFSWorkloadGenerator(operation="read")
+    name, args, size = generator.next_invocation()
+    assert name == "read"
+    assert args["size"] == 1024
+    assert size < 256
+
+
+def test_netfs_generator_write_requests_carry_payload():
+    generator = NetFSWorkloadGenerator(operation="write")
+    name, args, size = generator.next_invocation()
+    assert name == "write"
+    assert len(args["data"]) == 1024
+    assert size > 1024
+
+
+def test_netfs_generator_rejects_unknown_operation():
+    with pytest.raises(ConfigurationError):
+        NetFSWorkloadGenerator(operation="append")
+
+
+def test_netfs_generator_paths_exist_in_directory_listing():
+    generator = NetFSWorkloadGenerator(operation="read", num_files=64)
+    paths = set(generator.file_paths())
+    for _ in range(50):
+        _name, args, _size = generator.next_invocation()
+        assert args["path"] in paths
+    assert len(generator.directories()) == 17
