@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Crash/recovery demo across both runtimes.
+
+Part 1 drives the threaded cluster through a full lifecycle: load, crash a
+replica, keep serving, recover it (checkpoint transfer + log replay) and
+show that every replica converges to the same state.
+
+Part 2 runs the simulated recovery experiment: a replica is crashed and
+recovered at virtual times while a mixed workload runs, producing the
+throughput-over-time and catch-up-time tables.
+
+Run with:  python examples/recovery_demo.py
+"""
+
+from repro.harness.experiments import run_recovery
+from repro.runtime import ThreadedPSMRCluster
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+
+def threaded_lifecycle():
+    print("Threaded cluster: crash and recover a replica")
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=16),
+        mpl=4,
+        num_replicas=3,
+    )
+    with cluster:
+        client = cluster.client()
+        for key in range(100, 150):
+            client.invoke("insert", key=key, value=b"v1")
+        cluster.crash_replica(2)
+        print("  crashed replica 2; live replicas:",
+              [replica.replica_id for replica in cluster.live_replicas()])
+        for key in range(100, 125):
+            client.invoke("update", key=key, value=b"v2")
+        for key in range(150, 170):
+            client.invoke("insert", key=key, value=b"v3")
+        replica = cluster.recover_replica(2)
+        print("  recovered replica 2 from a peer checkpoint + log replay")
+        snapshots = cluster.replica_snapshots()
+        converged = snapshots[0] == snapshots[1] == snapshots[2]
+        print(f"  replicas converged: {converged}  "
+              f"(keys per replica: {[len(s) for s in snapshots]}, "
+              f"recovered executed {replica.service.commands_executed} commands)")
+
+
+def simulated_experiment():
+    print("\nSimulated recovery experiment (virtual-time crash/recovery)")
+    result = run_recovery(duration=0.12)
+    print(result["text"])
+
+
+def main():
+    threaded_lifecycle()
+    simulated_experiment()
+
+
+if __name__ == "__main__":
+    main()

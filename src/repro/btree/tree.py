@@ -286,6 +286,91 @@ class BPlusTree:
         self._rebalance(parent, path)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Return a restorable serialisation of the tree's contents.
+
+        The checkpoint captures the logical key->value mapping, not the node
+        layout: two trees with the same contents but different shapes (after
+        different insert/delete histories) produce equal checkpoints, and a
+        tree restored from a checkpoint behaves identically for every future
+        operation.
+        """
+        return {"order": self.order, "items": list(self.items())}
+
+    def restore(self, state):
+        """Rebuild this tree in place from a :meth:`checkpoint` value."""
+        items = list(state["items"])
+        order = int(state["order"])
+        if order < 4:
+            raise ConfigurationError("B+-tree order must be >= 4")
+        keys = [key for key, _value in items]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            raise ConfigurationError("checkpoint items must be strictly ascending")
+        self.order = order
+        self.structural_changes = 0
+        self._size = len(items)
+        self._root = self._bulk_load(items)
+        return self
+
+    def _bulk_load(self, items):
+        """Build a valid tree bottom-up from sorted ``(key, value)`` pairs."""
+        if not items:
+            return _Node(is_leaf=True)
+        leaves = []
+        position = 0
+        for chunk in self._chunk(len(items), self.order - 1, self._min_entries()):
+            leaf = _Node(is_leaf=True)
+            slice_ = items[position:position + chunk]
+            position += chunk
+            leaf.keys = [key for key, _value in slice_]
+            leaf.values = [value for _key, value in slice_]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            position = 0
+            for chunk in self._chunk(len(level), self.order, self._min_children()):
+                parent = _Node(is_leaf=False)
+                parent.children = level[position:position + chunk]
+                parent.keys = [
+                    self._subtree_min(child) for child in parent.children[1:]
+                ]
+                position += chunk
+                parents.append(parent)
+            level = parents
+        return level[0]
+
+    @staticmethod
+    def _chunk(total, capacity, minimum):
+        """Yield chunk sizes covering ``total`` with each in [minimum, capacity].
+
+        Only the very last chunk of a single-chunk level may go below
+        ``minimum`` (the root is exempt from occupancy minima).
+        """
+        remaining = total
+        while remaining > 0:
+            if remaining <= capacity:
+                size = remaining
+            elif remaining - capacity >= minimum:
+                size = capacity
+            else:
+                # Taking a full chunk would leave an underfull tail; split
+                # the remainder so both chunks respect the minimum.
+                size = remaining - minimum
+            yield size
+            remaining -= size
+
+    @staticmethod
+    def _subtree_min(node):
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
     # Validation (used by tests)
     # ------------------------------------------------------------------
     def validate(self):

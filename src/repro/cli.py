@@ -25,6 +25,7 @@ from repro.harness.experiments import (
     run_fig6_mixed,
     run_fig7_skew,
     run_fig8_netfs,
+    run_recovery,
     run_table1,
 )
 
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "fig6": (run_fig6_mixed, True),
     "fig7": (run_fig7_skew, False),
     "fig8": (run_fig8_netfs, True),
+    "recovery": (run_recovery, True),
     "ablation-merge": (run_ablation_merge_policy, True),
     "ablation-cg": (run_ablation_cg_granularity, True),
     "ablation-batch": (run_ablation_batch_size, True),

@@ -45,5 +45,22 @@ class SimulationError(ReproError):
     """Raised when the discrete-event simulation kernel detects misuse."""
 
 
+class ReplicaCrashedError(ReproError):
+    """Raised inside a replica's worker threads when the replica is crashed.
+
+    Used by the threaded runtime to unwind workers parked on barriers or
+    delivery queues so a :meth:`crash_replica` call terminates promptly.
+    """
+
+
+class RecoveryError(ReproError):
+    """Raised when a crash/recovery lifecycle operation is invalid.
+
+    Examples: crashing the last live replica, recovering a replica that is
+    not crashed, or replaying a multicast log suffix that has already been
+    truncated past the requested checkpoint.
+    """
+
+
 class LinearizabilityViolation(ReproError):
     """Raised by the linearizability checker when no valid serialization exists."""

@@ -270,6 +270,72 @@ class MemoryFileSystem:
         return [".", ".."] + sorted(inode.entries)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Return a fully restorable serialisation of the file system.
+
+        Unlike :meth:`tree_snapshot`, the checkpoint captures everything the
+        state machine needs to continue deterministically after a restore:
+        modes and timestamps, the open-descriptor table (commands delivered
+        after the checkpoint may release descriptors opened before it) and
+        the descriptor counter.  Inodes are serialised into a flat table so
+        open-but-unlinked files survive the round trip.
+        """
+        records = []
+        index_of = {}
+
+        def serialise(inode):
+            memo_key = id(inode)
+            if memo_key in index_of:
+                return index_of[memo_key]
+            index = len(records)
+            index_of[memo_key] = index
+            records.append(None)  # reserve the slot; children recurse below
+            records[index] = {
+                "is_dir": inode.is_dir,
+                "mode": inode.mode,
+                "atime": inode.atime,
+                "mtime": inode.mtime,
+                "data": bytes(inode.data),
+                "entries": {
+                    name: serialise(child)
+                    for name, child in sorted(inode.entries.items())
+                },
+            }
+            return index
+
+        root_index = serialise(self._root)
+        fd_table = {fd: serialise(inode) for fd, inode in sorted(self._fd_table.items())}
+        return {
+            "records": records,
+            "root": root_index,
+            "fd_table": fd_table,
+            "next_fd": self._next_fd,
+        }
+
+    def restore(self, state):
+        """Rebuild the file system in place from a :meth:`checkpoint` value."""
+        inodes = [
+            _Inode(
+                is_dir=record["is_dir"],
+                mode=record["mode"],
+                atime=record["atime"],
+                mtime=record["mtime"],
+                data=bytearray(record["data"]),
+            )
+            for record in state["records"]
+        ]
+        for inode, record in zip(inodes, state["records"]):
+            inode.entries = {
+                name: inodes[index] for name, index in record["entries"].items()
+            }
+        self._root = inodes[state["root"]]
+        self._fd_table = {int(fd): inodes[index] for fd, index in state["fd_table"].items()}
+        self._next_fd = state["next_fd"]
+        return self
+
+    # ------------------------------------------------------------------
     # Whole-tree helpers used by tests
     # ------------------------------------------------------------------
     def tree_snapshot(self):

@@ -1,0 +1,143 @@
+"""Recovery experiment: availability under a replica crash (beyond Figures 3-8).
+
+One P-SMR deployment executes a mixed workload while a replica is crashed
+partway through the measurement window and recovered later.  Completions
+are bucketed over time to expose the throughput dip, and the recovery
+record yields the catch-up time (marker ordering + checkpoint transfer +
+restore, per the paper's section IV replica model).
+"""
+
+from repro.harness.runner import DEFAULT_WARMUP, build_kv_system
+from repro.harness.tables import format_table
+from repro.workload import mixed_workload
+
+#: Recovery needs a longer window than the steady-state figures so the
+#: before/down/after phases each span several buckets.
+DEFAULT_RECOVERY_DURATION = 0.12
+
+#: What the experiment is expected to show (used in the output and tests).
+#: P-SMR is active replication — every replica executes every command — so a
+#: backup crash barely dents client-visible throughput; the interesting
+#: number is how quickly the crashed replica is whole again.
+EXPECTATIONS = {
+    "dip": "survivors keep serving while the replica is down (dip stays small)",
+    "catch_up": "the recovered replica converges after one checkpoint transfer",
+}
+
+
+def _phase(bucket_start, bucket_end, crash_at, recovered_at):
+    if bucket_end <= crash_at:
+        return "before"
+    if recovered_at is not None and bucket_start >= recovered_at:
+        return "after"
+    return "down"
+
+
+def run_recovery(
+    warmup=DEFAULT_WARMUP,
+    duration=DEFAULT_RECOVERY_DURATION,
+    seed=1,
+    mpl=4,
+    crash_replica=1,
+    crash_at_fraction=0.3,
+    recover_at_fraction=0.55,
+    buckets=12,
+    dependent_fraction=0.1,
+    initial_keys=128,
+    key_space=512,
+):
+    """Run the crash/recovery scenario; return bucketed rows plus a summary."""
+    system = build_kv_system(
+        "P-SMR",
+        mpl,
+        mix=mixed_workload(dependent_fraction),
+        execute_state=True,
+        initial_keys=initial_keys,
+        key_space=key_space,
+        seed=seed,
+    )
+    completions = []
+    system.clients.on_completion = completions.append
+
+    crash_at = warmup + crash_at_fraction * duration
+    recover_at = warmup + recover_at_fraction * duration
+    system.schedule_crash(crash_replica, crash_at)
+    system.schedule_recovery(crash_replica, recover_at)
+
+    result = system.run(warmup=warmup, duration=duration)
+    record = system.recoveries[0] if system.recoveries else None
+    recovered_at = record.completed_at if record is not None else None
+
+    window_start, window_end = warmup, warmup + duration
+    width = (window_end - window_start) / buckets
+    counts = [0] * buckets
+    for completed_at in completions:
+        if window_start <= completed_at < window_end:
+            counts[int((completed_at - window_start) / width)] += 1
+
+    rows = []
+    phase_totals = {}
+    for index, count in enumerate(counts):
+        bucket_start = window_start + index * width
+        bucket_end = bucket_start + width
+        phase = _phase(bucket_start, bucket_end, crash_at, recovered_at)
+        kcps = count / width / 1000.0
+        phase_totals.setdefault(phase, []).append(kcps)
+        rows.append(
+            {
+                "bucket": index,
+                "t_start_ms": round(bucket_start * 1000.0, 2),
+                "phase": phase,
+                "completions": count,
+                "throughput_kcps": round(kcps, 1),
+            }
+        )
+
+    def phase_mean(phase):
+        values = phase_totals.get(phase, [])
+        return sum(values) / len(values) if values else 0.0
+
+    before = phase_mean("before")
+    down = phase_mean("down")
+    after = phase_mean("after")
+    summary = {
+        "before_kcps": round(before, 1),
+        "down_kcps": round(down, 1),
+        "after_kcps": round(after, 1),
+        "dip_percent": round(100.0 * (1.0 - down / before), 1) if before else None,
+        "crash_at_ms": round(crash_at * 1000.0, 2),
+        "recover_requested_at_ms": round(recover_at * 1000.0, 2),
+        "recovered_at_ms": (
+            round(recovered_at * 1000.0, 2) if recovered_at is not None else None
+        ),
+        "catch_up_ms": (
+            round(record.duration() * 1000.0, 3)
+            if record is not None and record.done
+            else None
+        ),
+        "completed": result.completed,
+    }
+
+    summary_rows = [{"metric": key, "value": value} for key, value in summary.items()]
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=["bucket", "t_start_ms", "phase", "completions", "throughput_kcps"],
+                title=f"Recovery - throughput over time (mpl={mpl}, crash replica {crash_replica})",
+            ),
+            "",
+            format_table(
+                summary_rows,
+                columns=["metric", "value"],
+                title="Recovery - throughput dip and catch-up time",
+            ),
+        ]
+    )
+    return {
+        "figure": "recovery",
+        "rows": rows,
+        "summary": summary,
+        "expectations": EXPECTATIONS,
+        "text": text,
+    }

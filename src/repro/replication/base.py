@@ -31,6 +31,83 @@ def call_after(env, delay, callback):
     return timer
 
 
+#: Name of the control command that carries a recovery marker through the
+#: ordered streams.  It is not part of any service spec: workers special-case
+#: it before normal execution-mode planning.
+RECOVERY_COMMAND = "__recover__"
+
+
+def estimate_checkpoint_size(state, default=4096):
+    """Estimate the wire size of a checkpoint, for transfer-time accounting.
+
+    Walks the plain containers produced by the services' ``checkpoint()``
+    methods; unknown leaf types are charged a flat 8 bytes.  When there is no
+    materialised state (``execute_state=False`` deployments), ``default``
+    models the paper's small-application checkpoint.
+    """
+    if state is None:
+        return default
+
+    def walk(value):
+        if isinstance(value, (bytes, bytearray, str)):
+            return len(value) + 8
+        if isinstance(value, dict):
+            return 16 + sum(walk(k) + walk(v) for k, v in value.items())
+        if isinstance(value, (list, tuple)):
+            return 16 + sum(walk(item) for item in value)
+        return 8
+
+    return walk(state)
+
+
+class ReplicaHealth:
+    """Shared crash flag for every worker of one simulated replica."""
+
+    def __init__(self):
+        self.crashed = False
+        self.crashes = 0
+        self.recoveries = 0
+
+    def crash(self):
+        self.crashed = True
+        self.crashes += 1
+
+    def recover(self):
+        self.crashed = False
+        self.recoveries += 1
+
+
+class RecoveryRecord:
+    """Bookkeeping for one recovery marker flowing through the streams.
+
+    ``checkpoint_ready`` is succeeded — with ``(checkpoint, size_bytes)`` —
+    by the first live replica whose executor thread reaches the marker; the
+    recovering replica's executor waits on it, charges the transfer time and
+    restores.  ``completed_at`` is stamped when the replica is back online,
+    so ``completed_at - started_at`` is the recovery (catch-up) time.
+    """
+
+    def __init__(self, env, replica_id):
+        self.replica_id = replica_id
+        self.started_at = env.now
+        self.completed_at = None
+        self.checkpoint_ready = Event(env)
+        #: Set (synchronously) by the live executor that will publish the
+        #: checkpoint, *before* it yields for the serialisation time — so a
+        #: second live replica reaching the marker during that window does
+        #: not also try to succeed ``checkpoint_ready``.
+        self.claimed = False
+
+    @property
+    def done(self):
+        return self.completed_at is not None
+
+    def duration(self):
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
 class ClientPool:
     """Closed-loop clients: each keeps ``window`` commands outstanding.
 
@@ -56,6 +133,9 @@ class ClientPool:
         #: When True, completed commands are not replaced by new ones (used
         #: to quiesce the system at the end of a run).
         self.stopped = False
+        #: Optional ``callback(completed_at)`` fired on every completion;
+        #: the recovery experiment uses it to bucket throughput over time.
+        self.on_completion = None
 
     def start(self):
         """Submit the initial window of every client."""
@@ -91,6 +171,8 @@ class ClientPool:
         # simulation events, to keep the event count per command low.
         latency = completed_at - command.submitted_at + 2 * self.costs.net_latency
         self.throughput.record_completion(completed_at)
+        if self.on_completion is not None:
+            self.on_completion(completed_at)
         window_start = self.throughput.window_start
         window_end = self.throughput.window_end
         if (
@@ -357,13 +439,39 @@ class BarrierBoard:
 
     def complete(self, uid, when):
         """The executor finished ``uid``: release every waiting peer."""
+        if not self.try_complete(uid, when):
+            raise ProtocolError(f"barrier completed twice for {uid}")
+
+    def try_complete(self, uid, when):
+        """Like :meth:`complete` but tolerate a barrier already cleared.
+
+        Returns False when ``uid`` has no pending state — which happens
+        legitimately when a crash :meth:`reset` raced the executor.
+        """
         state = self._states.pop(uid, None)
         if state is None:
-            raise ProtocolError(f"barrier completed twice for {uid}")
+            return False
         state["done"].succeed(when)
+        return True
 
     def pending(self):
         return len(self._states)
+
+    def reset(self):
+        """Fail open every pending barrier; return how many were pending.
+
+        Used when a replica crashes: worker processes parked on ``ready`` or
+        ``done`` events must resume (they observe the crash flag and drop
+        the command) instead of waiting forever for peers that will never
+        signal.
+        """
+        states, self._states = self._states, {}
+        for state in states.values():
+            if not state["ready"].triggered:
+                state["ready"].succeed()
+            if not state["done"].triggered:
+                state["done"].succeed()
+        return len(states)
 
 
 class BaseSystem:
@@ -408,6 +516,31 @@ class BaseSystem:
     def cpu_prefix(self):
         """CPU accounting prefix of the first server node (for the CPU graphs)."""
         return "server0"
+
+    # ------------------------------------------------------------------
+    # Crash/recovery lifecycle (implemented by replicated techniques)
+    # ------------------------------------------------------------------
+    def crash_replica(self, replica_id):  # pragma: no cover - overridden
+        raise NotImplementedError(f"{self.name} does not support crash injection")
+
+    def recover_replica(self, replica_id):  # pragma: no cover - overridden
+        raise NotImplementedError(f"{self.name} does not support recovery")
+
+    def schedule_crash(self, replica_id, at):
+        """Crash ``replica_id`` at virtual time ``at`` (>= now)."""
+        if at < self.env.now:
+            raise ConfigurationError("cannot schedule a crash in the past")
+        return call_after(
+            self.env, at - self.env.now, lambda: self.crash_replica(replica_id)
+        )
+
+    def schedule_recovery(self, replica_id, at):
+        """Start recovering ``replica_id`` at virtual time ``at`` (>= now)."""
+        if at < self.env.now:
+            raise ConfigurationError("cannot schedule a recovery in the past")
+        return call_after(
+            self.env, at - self.env.now, lambda: self.recover_replica(replica_id)
+        )
 
     def quiesce(self, grace=0.05, limit=2.0):
         """Stop the load and let every replica finish the commands in flight.

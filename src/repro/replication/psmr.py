@@ -13,17 +13,30 @@ Structure (paper sections IV and VI-A):
   with the other destination threads.
 """
 
+import itertools
+
+from repro.common.errors import RecoveryError
+from repro.core.command import Command
 from repro.core.protocol import plan_execution
 from repro.core.cg import CGFunction
-from repro.multicast.group import GroupLayout
-from repro.replication.base import BarrierBoard, BaseSystem, SimStream, StreamInbox
+from repro.multicast.group import ALL_GROUPS, GroupLayout
+from repro.replication.base import (
+    RECOVERY_COMMAND,
+    BarrierBoard,
+    BaseSystem,
+    RecoveryRecord,
+    ReplicaHealth,
+    SimStream,
+    StreamInbox,
+    estimate_checkpoint_size,
+)
 from repro.replication.costmodel import KeyCache
 
 
 class PsmrWorker:
     """One worker thread of one P-SMR replica (Algorithm 1, server side)."""
 
-    def __init__(self, system, replica_id, index, barrier, cache, state):
+    def __init__(self, system, replica_id, index, barrier, cache, state, health):
         self.system = system
         self.env = system.env
         self.costs = system.config.costs
@@ -34,6 +47,7 @@ class PsmrWorker:
         self.barrier = barrier
         self.cache = cache
         self.state = state
+        self.health = health
         self.scale = self.costs.contention_factor(self.mpl)
         self.cpu_name = f"server{replica_id}/worker{index}"
         self.inbox = StreamInbox(
@@ -72,6 +86,17 @@ class PsmrWorker:
         chunk = []
         chunk_cost = 0.0
         for command in batch.commands:
+            if command.name == RECOVERY_COMMAND:
+                if chunk or chunk_cost > 0:
+                    yield from self._flush_chunk(chunk, chunk_cost)
+                    chunk = []
+                    chunk_cost = 0.0
+                yield from self._recovery_marker(command)
+                continue
+            if self.health.crashed:
+                # A crashed replica loses the delivery; the commands it
+                # misses are covered by the peer checkpoint it restores.
+                continue
             destinations = command.destinations
             if (
                 not via_all
@@ -109,6 +134,8 @@ class PsmrWorker:
         start = self.env.now
         if total_cost > 0:
             yield self.env.timeout(total_cost)
+            if self.health.crashed:
+                return  # crashed mid-burst: the chunk's effects are lost
             self.system.cpu.charge(self.cpu_name, total_cost, self.env.now)
         for command, offset in chunk:
             value = self._apply(command)
@@ -121,6 +148,8 @@ class PsmrWorker:
         if plan.mode == "assist":
             cost = (costs.delivery + costs.merge_overhead) * self.scale + costs.signal
             yield self.env.timeout(cost)
+            if self.health.crashed:
+                return
             self.system.cpu.charge(self.cpu_name, cost, self.env.now)
             self.barrier.signal(command.uid, self.index)
             yield self.barrier.done_event(command.uid)
@@ -129,19 +158,77 @@ class PsmrWorker:
         # Executor (lowest-indexed destination thread).
         delivery_cost = (costs.delivery + costs.merge_overhead) * self.scale
         yield self.env.timeout(delivery_cost)
+        if self.health.crashed:
+            return
         self.system.cpu.charge(self.cpu_name, delivery_cost, self.env.now)
         ready = self.barrier.expect(command.uid, plan.peers)
         yield ready
+        if self.health.crashed:
+            return
         execute_cost = (
             self.profile.execute_cost(command, self.cache) * self.scale
             + 2 * len(plan.peers) * costs.signal
         )
         yield self.env.timeout(execute_cost)
+        if self.health.crashed:
+            return
         self.system.cpu.charge(self.cpu_name, execute_cost, self.env.now)
         value = self._apply(command)
         self.executed += 1
         self.system.clients.deliver_response(command.uid, self.env.now, value)
         self.barrier.complete(command.uid, self.env.now)
+
+    def _recovery_marker(self, command):
+        """Handle a recovery marker ordered through ``g_all``.
+
+        The marker runs in synchronous mode on *every* replica — including
+        crashed ones, whose workers keep draining their inboxes looking for
+        it.  When all of a replica's threads have reached the marker, the
+        replica's state reflects exactly the stream prefix before it, so
+        the first live replica's executor publishes a checkpoint at that
+        cut; the recovering replica's executor restores it (after paying
+        the simulated transfer time) and flips the replica back online.
+        Everything ordered after the marker is then processed live — the
+        suffix-replay half of recovery comes for free from the streams.
+        """
+        record = command.args["record"]
+        uid = command.uid
+        costs = self.costs
+        plan = plan_execution(ALL_GROUPS, self.index, self.mpl)
+        if plan.mode == "assist":
+            self.barrier.signal(uid, self.index)
+            yield self.barrier.done_event(uid)
+            return
+        # Executor (thread 1; with mpl == 1 the plan degenerates to parallel).
+        ready = self.barrier.expect(uid, plan.peers)
+        yield ready
+        if self.health.crashed and record.replica_id == self.replica_id:
+            checkpoint, size = yield record.checkpoint_ready
+            transfer = size / costs.nic_bandwidth + costs.net_latency
+            yield self.env.timeout(transfer)
+            self.system.cpu.charge(self.cpu_name, transfer, self.env.now)
+            if self.state is not None and checkpoint is not None:
+                self.state.restore(checkpoint)
+            self.health.recover()
+            record.completed_at = self.env.now
+        elif not self.health.crashed and not record.claimed:
+            # Claim before yielding: another live replica's executor may
+            # reach the marker during our serialisation window, and only
+            # one of us may succeed the event.
+            record.claimed = True
+            checkpoint = self.state.checkpoint() if self.state is not None else None
+            size = estimate_checkpoint_size(checkpoint)
+            serialize = costs.delivery + size / costs.nic_bandwidth
+            yield self.env.timeout(serialize)
+            if self.health.crashed:
+                # Crashed mid-serialisation: release the claim so another
+                # live replica (or a later marker) can publish instead.
+                record.claimed = False
+            else:
+                self.system.cpu.charge(self.cpu_name, serialize, self.env.now)
+                record.checkpoint_ready.succeed((checkpoint, size))
+        # try_complete: a concurrent crash may have reset this barrier.
+        self.barrier.try_complete(uid, self.env.now)
 
     def _apply(self, command):
         if self.state is None:
@@ -188,9 +275,12 @@ class PSMRSystem(BaseSystem):
                 name=f"g{stream_id}" if stream_id else "g_all",
             )
         self.replicas = []
+        self.recoveries = []
+        self._recovery_sequence = itertools.count()
         for replica_id in range(config.num_replicas):
             barrier = BarrierBoard(self.env)
             cache = KeyCache(config.costs.cache_size)
+            health = ReplicaHealth()
             state = None
             if self.execute_state and self.state_factory is not None:
                 state = self.state_factory()
@@ -203,11 +293,14 @@ class PSMRSystem(BaseSystem):
                     barrier=barrier,
                     cache=cache,
                     state=state,
+                    health=health,
                 )
                 for stream_id in self.layout.subscriptions_of_thread(index):
                     self.streams[stream_id].subscribe(worker)
                 workers.append(worker)
-            self.replicas.append({"workers": workers, "barrier": barrier, "state": state})
+            self.replicas.append(
+                {"workers": workers, "barrier": barrier, "state": state, "health": health}
+            )
 
     # ------------------------------------------------------------------
     # Client proxy (Algorithm 1, lines 1-6)
@@ -224,3 +317,54 @@ class PSMRSystem(BaseSystem):
     def replica_state(self, replica_id=0):
         """The service state machine of one replica (when ``execute_state``)."""
         return self.replicas[replica_id]["state"]
+
+    # ------------------------------------------------------------------
+    # Crash and recovery (scheduled at virtual times via BaseSystem)
+    # ------------------------------------------------------------------
+    def crash_replica(self, replica_id):
+        """Fail-stop one simulated replica at the current virtual time.
+
+        Its workers drop every delivery from here on; pending barriers are
+        failed open so worker processes parked on them resume (and observe
+        the crash) instead of deadlocking the replica forever.
+        """
+        replica = self.replicas[replica_id]
+        if replica["health"].crashed:
+            raise RecoveryError(f"replica {replica_id} is already crashed")
+        live = [r for r in self.replicas if not r["health"].crashed]
+        if len(live) <= 1:
+            raise RecoveryError("cannot crash the last live replica")
+        replica["health"].crash()
+        replica["barrier"].reset()
+        return replica
+
+    def recover_replica(self, replica_id):
+        """Start recovering a crashed replica; return its :class:`RecoveryRecord`.
+
+        Ordering the marker through ``g_all`` totally orders the recovery
+        point against every command, exactly like the threaded runtime's
+        checkpoint marker; the record's ``completed_at`` is stamped once the
+        replica has restored a live peer's checkpoint and rejoined.
+        """
+        replica = self.replicas[replica_id]
+        if not replica["health"].crashed:
+            raise RecoveryError(f"replica {replica_id} is not crashed")
+        record = RecoveryRecord(self.env, replica_id)
+        command = Command(
+            uid=(RECOVERY_COMMAND, next(self._recovery_sequence)),
+            name=RECOVERY_COMMAND,
+            args={"record": record},
+            size_bytes=64,
+            submitted_at=self.env.now,
+        )
+        command.destinations = ALL_GROUPS
+        self.streams[GroupLayout.ALL_STREAM_ID].submit(command)
+        self.recoveries.append(record)
+        return record
+
+    def live_replica_ids(self):
+        return [
+            replica_id
+            for replica_id, replica in enumerate(self.replicas)
+            if not replica["health"].crashed
+        ]

@@ -15,10 +15,11 @@ the property the paper's deterministic merge provides.
 """
 
 from repro.runtime.multicast import LocalAtomicMulticast
-from repro.runtime.cluster import ThreadedPSMRCluster, ThreadedClient
+from repro.runtime.cluster import CheckpointMarker, ThreadedPSMRCluster, ThreadedClient
 from repro.runtime.linearizability import HistoryRecorder, check_linearizable
 
 __all__ = [
+    "CheckpointMarker",
     "LocalAtomicMulticast",
     "ThreadedPSMRCluster",
     "ThreadedClient",

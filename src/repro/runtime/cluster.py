@@ -5,15 +5,26 @@ client proxies marshal invocations and multicast them; each replica runs
 ``mpl`` worker threads that deliver, synchronise (barriers for synchronous
 mode) and execute against the local service instance; responses travel back
 to the client proxy, which returns the first one.
+
+The cluster also implements the paper's replica fault model (section IV):
+replicas can crash (:meth:`ThreadedPSMRCluster.crash_replica`) and later
+rejoin (:meth:`ThreadedPSMRCluster.recover_replica`).  Recovery follows the
+classic checkpoint-transfer-plus-log-replay scheme: a
+:class:`CheckpointMarker` is multicast to every group and executed in
+synchronous mode, so each live replica snapshots its service at the same
+consistent cut; the recovering replica restores a peer's checkpoint and is
+registered with the multicast log suffix after the marker's sequence
+number, then re-delivers it to its ``mpl`` workers and rejoins.
 """
 
 import itertools
 import threading
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, RecoveryError, ReplicaCrashedError
 from repro.core.cg import CGFunction
 from repro.core.command import Command
 from repro.core.protocol import plan_execution
+from repro.multicast.group import ALL_GROUPS
 from repro.runtime.multicast import LocalAtomicMulticast
 
 
@@ -24,6 +35,7 @@ class _BarrierSync:
         self._cond = threading.Condition()
         self._signals = {}
         self._done = set()
+        self._crashed = False
 
     def signal(self, uid, thread_index):
         with self._cond:
@@ -34,8 +46,11 @@ class _BarrierSync:
         peers = set(peers)
         with self._cond:
             ok = self._cond.wait_for(
-                lambda: peers <= self._signals.get(uid, set()), timeout=timeout
+                lambda: self._crashed or peers <= self._signals.get(uid, set()),
+                timeout=timeout,
             )
+            if self._crashed:
+                raise ReplicaCrashedError(f"replica crashed at barrier of {uid}")
         if not ok:
             raise TimeoutError(f"barrier timed out waiting for peers of {uid}")
 
@@ -47,26 +62,87 @@ class _BarrierSync:
 
     def wait_for_completion(self, uid, timeout=None):
         with self._cond:
-            ok = self._cond.wait_for(lambda: uid in self._done, timeout=timeout)
+            ok = self._cond.wait_for(
+                lambda: self._crashed or uid in self._done, timeout=timeout
+            )
+            if self._crashed:
+                raise ReplicaCrashedError(f"replica crashed at barrier of {uid}")
         if not ok:
             raise TimeoutError(f"barrier timed out waiting for executor of {uid}")
+
+    def crash(self):
+        """Wake every waiting worker with :class:`ReplicaCrashedError`."""
+        with self._cond:
+            self._crashed = True
+            self._cond.notify_all()
+
+
+class CheckpointMarker:
+    """A control message that snapshots one replica at a consistent cut.
+
+    The marker is multicast to :data:`ALL_GROUPS`, so it is totally ordered
+    against every command.  On delivery it is executed in synchronous mode
+    by every replica: thread 1 waits until all its sibling threads have
+    reached the marker (at which point the replica's service reflects
+    exactly the commands ordered before the marker).  Only the requested
+    ``source_replica_id`` then materialises ``service.checkpoint()`` —
+    the other replicas pay just the barrier, which is what makes the cut
+    consistent cluster-wide without N copies of the state.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, source_replica_id):
+        self.uid = ("__checkpoint__", next(self._ids))
+        self.source_replica_id = source_replica_id
+        self._lock = threading.Lock()
+        self._delivered = set()
+        self._results = {}
+        self._events = {}
+
+    def deliver(self, replica_id, sequence, state):
+        """Record one replica's checkpoint (first delivery wins on replay)."""
+        with self._lock:
+            if replica_id in self._delivered:
+                return
+            self._delivered.add(replica_id)
+            self._results[replica_id] = (sequence, state)
+            event = self._events.get(replica_id)
+        if event is not None:
+            event.set()
+
+    def wait_for(self, replica_id, timeout=None):
+        """Block until ``replica_id`` checkpointed; return ``(sequence, state)``.
+
+        The result is handed over (dropped from the marker) so a marker
+        retained in the multicast log does not pin the state in memory.
+        """
+        with self._lock:
+            if replica_id in self._results:
+                return self._results.pop(replica_id)
+            event = self._events.setdefault(replica_id, threading.Event())
+        if not event.wait(timeout):
+            raise TimeoutError(f"no checkpoint from replica {replica_id}")
+        with self._lock:
+            return self._results.pop(replica_id)
 
 
 class _Replica:
     """One replica: a service instance plus ``mpl`` worker threads."""
 
-    def __init__(self, cluster, replica_id, service):
+    def __init__(self, cluster, replica_id, service, delivery_queues):
         self.cluster = cluster
         self.replica_id = replica_id
         self.service = service
         self.barrier = _BarrierSync()
+        self.crashed = False
+        self.last_checkpoint = None  # (sequence, state) of the latest marker
         self.delivered = [0] * (cluster.mpl + 1)
         self.threads = []
         for index in range(1, cluster.mpl + 1):
-            delivery_queue = cluster.multicast.register_thread(replica_id, index)
             worker = threading.Thread(
                 target=self._worker_loop,
-                args=(index, delivery_queue),
+                args=(index, delivery_queues[index]),
                 name=f"psmr-replica{replica_id}-t{index}",
                 daemon=True,
             )
@@ -84,28 +160,60 @@ class _Replica:
         mpl = self.cluster.mpl
         while True:
             item = delivery_queue.get()
-            if item is None:
+            if item is None or self.crashed:
                 return
-            _sequence, destinations, command = item
+            sequence, destinations, command = item
             self.delivered[index] += 1
-            plan = plan_execution(destinations, index, mpl)
-            if plan.mode == "parallel":
-                self._execute_and_reply(command)
-            elif plan.mode == "execute":
-                self.barrier.wait_for_peers(
-                    command.uid, plan.peers, timeout=self.cluster.barrier_timeout
-                )
-                self._execute_and_reply(command)
-                self.barrier.complete(command.uid)
-            elif plan.mode == "assist":
-                self.barrier.signal(command.uid, index)
-                self.barrier.wait_for_completion(
-                    command.uid, timeout=self.cluster.barrier_timeout
-                )
-            # plan.mode == "ignore": not a destination; nothing to do.
+            try:
+                if isinstance(command, CheckpointMarker):
+                    self._handle_marker(sequence, command, index)
+                    continue
+                plan = plan_execution(destinations, index, mpl)
+                if plan.mode == "parallel":
+                    self._execute_and_reply(command)
+                elif plan.mode == "execute":
+                    self.barrier.wait_for_peers(
+                        command.uid, plan.peers, timeout=self.cluster.barrier_timeout
+                    )
+                    self._execute_and_reply(command)
+                    self.barrier.complete(command.uid)
+                elif plan.mode == "assist":
+                    self.barrier.signal(command.uid, index)
+                    self.barrier.wait_for_completion(
+                        command.uid, timeout=self.cluster.barrier_timeout
+                    )
+                # plan.mode == "ignore": not a destination; nothing to do.
+            except ReplicaCrashedError:
+                return
+
+    def _handle_marker(self, sequence, marker, index):
+        """Synchronous-mode execution of a :class:`CheckpointMarker`.
+
+        When every thread has reached the marker, the replica's service
+        state reflects exactly the commands sequenced before it, so the
+        executor's checkpoint is a consistent cut at ``sequence``.
+        """
+        executor = 1
+        if index != executor:
+            self.barrier.signal(marker.uid, index)
+            self.barrier.wait_for_completion(
+                marker.uid, timeout=self.cluster.barrier_timeout
+            )
+            return
+        peers = range(2, self.cluster.mpl + 1)
+        self.barrier.wait_for_peers(
+            marker.uid, peers, timeout=self.cluster.barrier_timeout
+        )
+        if marker.source_replica_id == self.replica_id:
+            state = self.service.checkpoint()
+            self.last_checkpoint = (sequence, state)
+            marker.deliver(self.replica_id, sequence, state)
+        self.barrier.complete(marker.uid)
 
     def _execute_and_reply(self, command):
         response = self.service.apply(command)
+        if self.crashed:
+            raise ReplicaCrashedError("replica crashed before replying")
         response.replica_id = self.replica_id
         self.cluster._respond(command.uid, response)
 
@@ -130,6 +238,9 @@ class ThreadedClient:
         waiter = self.cluster._register_waiter(command.uid)
         self.cluster.multicast.multicast(gamma, command)
         if not waiter.wait(timeout):
+            # Drop the registration (and any response that raced the
+            # timeout) so abandoned invocations do not leak waiters.
+            self.cluster._discard_waiter(command.uid)
             raise TimeoutError(f"no response for {name} within {timeout}s")
         response = self.cluster._take_response(command.uid)
         return response
@@ -140,23 +251,32 @@ class ThreadedPSMRCluster:
 
     ``service_factory`` builds one service state machine per replica (e.g.
     ``KeyValueStoreServer``); ``spec`` provides the command signatures and
-    routing from which the C-G function is compiled.
+    routing from which the C-G function is compiled.  ``log_retention``
+    bounds the multicast replay log (``None`` retains everything, which is
+    what tests use; production deployments pair a finite retention with
+    periodic :meth:`checkpoint` calls).
     """
 
     def __init__(self, spec, service_factory, mpl=4, num_replicas=2,
-                 coarse_cg=False, barrier_timeout=10.0, seed=0):
+                 coarse_cg=False, barrier_timeout=10.0, seed=0,
+                 log_retention=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         self.spec = spec
+        self.service_factory = service_factory
         self.mpl = mpl
         self.num_replicas = num_replicas
         self.barrier_timeout = barrier_timeout
         self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
-        self.multicast = LocalAtomicMulticast(mpl)
-        self.replicas = [
-            _Replica(self, replica_id, service_factory())
-            for replica_id in range(num_replicas)
-        ]
+        self.multicast = LocalAtomicMulticast(mpl, retention=log_retention)
+        self.replicas = []
+        for replica_id in range(num_replicas):
+            queues = self.multicast.register_replica(
+                replica_id, range(1, mpl + 1)
+            )
+            self.replicas.append(
+                _Replica(self, replica_id, service_factory(), queues)
+            )
         self._responses = {}
         self._waiters = {}
         self._lock = threading.Lock()
@@ -170,7 +290,8 @@ class ThreadedPSMRCluster:
         if self._started:
             return self
         for replica in self.replicas:
-            replica.start()
+            if not replica.crashed:
+                replica.start()
         self._started = True
         return self
 
@@ -187,6 +308,71 @@ class ThreadedPSMRCluster:
         self.shutdown()
 
     # ------------------------------------------------------------------
+    # Crash and recovery
+    # ------------------------------------------------------------------
+    def live_replicas(self):
+        """The replicas currently serving (not crashed)."""
+        return [replica for replica in self.replicas if not replica.crashed]
+
+    def crash_replica(self, replica_id):
+        """Fail-stop one replica: no further deliveries, workers terminated.
+
+        Survivors are unaffected — barriers are per-replica, so in-flight
+        synchronous-mode commands on live replicas keep making progress.
+        """
+        replica = self.replicas[replica_id]
+        if replica.crashed:
+            raise RecoveryError(f"replica {replica_id} is already crashed")
+        if len(self.live_replicas()) <= 1:
+            raise RecoveryError("cannot crash the last live replica")
+        replica.crashed = True
+        queues = self.multicast.unregister_replica(replica_id)
+        replica.barrier.crash()
+        for delivery_queue in queues.values():
+            delivery_queue.put(None)
+        replica.join()
+        return replica
+
+    def checkpoint(self, replica_id=None, timeout=None):
+        """Checkpoint the cluster at one consistent cut.
+
+        Multicasts a :class:`CheckpointMarker` to every group and returns
+        ``(sequence, state)`` from ``replica_id`` (default: the first live
+        replica).  Every live replica synchronises at the same cut; only
+        the source materialises its state.
+        """
+        if replica_id is None:
+            replica_id = self.live_replicas()[0].replica_id
+        elif self.replicas[replica_id].crashed:
+            raise RecoveryError(f"replica {replica_id} is crashed")
+        marker = CheckpointMarker(source_replica_id=replica_id)
+        self.multicast.multicast(ALL_GROUPS, marker)
+        return marker.wait_for(replica_id, timeout or self.barrier_timeout)
+
+    def recover_replica(self, replica_id, source_replica_id=None):
+        """Bring a crashed replica back: checkpoint transfer + log replay.
+
+        A live peer is checkpointed at a fresh marker (sequence ``s``); a
+        new service instance restores that state; the replica's delivery
+        queues are registered atomically with the retained log suffix after
+        ``s``; the new workers then drain the suffix and go live.
+        """
+        old = self.replicas[replica_id]
+        if not old.crashed:
+            raise RecoveryError(f"replica {replica_id} is not crashed")
+        sequence, state = self.checkpoint(replica_id=source_replica_id)
+        service = self.service_factory()
+        service.restore(state)
+        queues = self.multicast.register_replica(
+            replica_id, range(1, self.mpl + 1), after_sequence=sequence
+        )
+        replica = _Replica(self, replica_id, service, queues)
+        self.replicas[replica_id] = replica
+        if self._started:
+            replica.start()
+        return replica
+
+    # ------------------------------------------------------------------
     # Client plumbing
     # ------------------------------------------------------------------
     def client(self):
@@ -199,14 +385,20 @@ class ThreadedPSMRCluster:
             self._waiters[uid] = event
         return event
 
+    def _discard_waiter(self, uid):
+        with self._lock:
+            self._waiters.pop(uid, None)
+            self._responses.pop(uid, None)
+
     def _respond(self, uid, response):
         with self._lock:
-            if uid in self._responses:
-                return  # a faster replica already answered
-            self._responses[uid] = response
             waiter = self._waiters.get(uid)
-        if waiter is not None:
-            waiter.set()
+            if waiter is None or uid in self._responses:
+                # Duplicate replies, replies after a client timed out, and
+                # replies re-executed during recovery replay are dropped.
+                return
+            self._responses[uid] = response
+        waiter.set()
 
     def _take_response(self, uid):
         with self._lock:
@@ -217,7 +409,7 @@ class ThreadedPSMRCluster:
     # Inspection helpers for tests
     # ------------------------------------------------------------------
     def wait_for_quiescence(self, timeout=10.0, poll=0.01):
-        """Block until every replica has drained and executed the same commands.
+        """Block until every live replica has drained and executed the same commands.
 
         The client proxy returns as soon as the *first* replica responds, so
         a caller that wants to compare replica states must first let the
@@ -230,12 +422,10 @@ class ThreadedPSMRCluster:
         deadline = _time.monotonic() + timeout
         previous = None
         while _time.monotonic() < deadline:
-            queues_empty = all(
-                queue.empty() for queue in self.multicast._queues.values()
-            )
+            queues_empty = self.multicast.is_drained()
             counters = tuple(
                 getattr(replica.service, "commands_executed", 0)
-                for replica in self.replicas
+                for replica in self.live_replicas()
             )
             if queues_empty and len(set(counters)) == 1 and counters == previous:
                 return True
@@ -244,7 +434,7 @@ class ThreadedPSMRCluster:
         raise TimeoutError("cluster did not quiesce within the timeout")
 
     def replica_snapshots(self, quiesce=True):
-        """Return each replica's service snapshot (replicas must converge)."""
+        """Return each live replica's service snapshot (replicas must converge)."""
         if quiesce and self._started:
             self.wait_for_quiescence()
-        return [replica.service.snapshot() for replica in self.replicas]
+        return [replica.service.snapshot() for replica in self.live_replicas()]

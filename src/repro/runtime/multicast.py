@@ -4,7 +4,7 @@ import itertools
 import queue
 import threading
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, RecoveryError
 from repro.multicast.group import ALL_GROUPS, GroupLayout
 
 
@@ -17,21 +17,68 @@ class LocalAtomicMulticast:
     thread subscribes to its own group and to ``g_all``).  Every subscriber
     of the same groups therefore delivers the same messages in the same
     relative order — the agreement and order properties of section II.
+
+    The sequencer also retains a log of ordered messages so a recovering
+    replica can be registered *atomically* with the suffix it missed:
+    :meth:`register_replica` pre-fills the new replica's delivery queues
+    with every retained message after a checkpoint's sequence number before
+    any new multicast can slip in between.  ``retention`` bounds the log
+    (``None`` keeps everything); replaying past a truncated prefix raises
+    :class:`~repro.common.errors.RecoveryError`.
     """
 
-    def __init__(self, mpl):
+    def __init__(self, mpl, retention=None):
         if mpl < 1:
             raise ConfigurationError("multiprogramming level must be >= 1")
+        if retention is not None and retention < 1:
+            raise ConfigurationError("log retention must be >= 1 (or None)")
         self.layout = GroupLayout(mpl)
         self.mpl = mpl
         self._lock = threading.Lock()
         self._sequence = itertools.count()
         # (replica_id, thread_index) -> delivery queue
         self._queues = {}
+        # Retained ordered messages: (sequence, destinations, threads, payload).
+        self._log = []
+        self._retention = retention
+        self._min_retained = 0
         self.messages_multicast = 0
 
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
     def register_thread(self, replica_id, thread_index):
         """Create and return the delivery queue of one worker thread."""
+        with self._lock:
+            return self._register_locked(replica_id, thread_index)
+
+    def register_replica(self, replica_id, thread_indices, after_sequence=None):
+        """Register every thread of a replica; return ``{thread_index: queue}``.
+
+        With ``after_sequence`` set, each queue is pre-filled — atomically
+        with the registration — with the retained log suffix the thread
+        would have delivered after that sequence number.  This is the replay
+        half of recovery: checkpoint at sequence ``s``, then register with
+        ``after_sequence=s`` and no message is lost or duplicated.
+        """
+        thread_indices = list(thread_indices)
+        with self._lock:
+            if after_sequence is not None and after_sequence + 1 < self._min_retained:
+                raise RecoveryError(
+                    f"multicast log truncated at {self._min_retained}; cannot "
+                    f"replay after sequence {after_sequence}"
+                )
+            queues = {}
+            for thread_index in thread_indices:
+                delivery_queue = self._register_locked(replica_id, thread_index)
+                if after_sequence is not None:
+                    for sequence, destinations, threads, payload in self._log:
+                        if sequence > after_sequence and thread_index in threads:
+                            delivery_queue.put((sequence, destinations, payload))
+                queues[thread_index] = delivery_queue
+            return queues
+
+    def _register_locked(self, replica_id, thread_index):
         key = (replica_id, thread_index)
         if key in self._queues:
             raise ConfigurationError(f"thread {key} registered twice")
@@ -39,22 +86,86 @@ class LocalAtomicMulticast:
         self._queues[key] = delivery_queue
         return delivery_queue
 
-    def replica_ids(self):
-        return sorted({replica for replica, _thread in self._queues})
+    def unregister_replica(self, replica_id):
+        """Remove a replica's queues (no further deliveries); return them."""
+        with self._lock:
+            keys = [key for key in self._queues if key[0] == replica_id]
+            return {key[1]: self._queues.pop(key) for key in keys}
 
+    def replica_ids(self):
+        with self._lock:
+            return sorted({replica for replica, _thread in self._queues})
+
+    # ------------------------------------------------------------------
+    # Multicast
+    # ------------------------------------------------------------------
     def multicast(self, destinations, payload):
         """Atomically deliver ``payload`` to every thread of every destination group."""
         if destinations == ALL_GROUPS:
-            threads = list(range(1, self.mpl + 1))
+            threads = frozenset(range(1, self.mpl + 1))
         else:
-            threads = self.layout.delivering_threads(destinations)
+            threads = frozenset(self.layout.delivering_threads(destinations))
         with self._lock:
             sequence = next(self._sequence)
             self.messages_multicast += 1
+            self._log.append((sequence, destinations, threads, payload))
+            if self._retention is not None and len(self._log) > self._retention:
+                del self._log[: len(self._log) - self._retention]
+                self._min_retained = self._log[0][0]
             for (replica_id, thread_index), delivery_queue in self._queues.items():
                 if thread_index in threads:
                     delivery_queue.put((sequence, destinations, payload))
         return sequence
+
+    # ------------------------------------------------------------------
+    # Log retention and replay
+    # ------------------------------------------------------------------
+    def log_suffix(self, thread_index, after_sequence):
+        """Return ``[(sequence, destinations, payload)]`` a thread missed.
+
+        The suffix contains every retained message with a sequence number
+        greater than ``after_sequence`` that is addressed to a group the
+        thread subscribes to, in delivery order.
+        """
+        with self._lock:
+            if after_sequence + 1 < self._min_retained:
+                raise RecoveryError(
+                    f"multicast log truncated at {self._min_retained}; cannot "
+                    f"replay after sequence {after_sequence}"
+                )
+            return [
+                (sequence, destinations, payload)
+                for sequence, destinations, threads, payload in self._log
+                if sequence > after_sequence and thread_index in threads
+            ]
+
+    def truncate_log(self, up_to_sequence):
+        """Drop retained messages with ``sequence <= up_to_sequence``."""
+        with self._lock:
+            kept = [entry for entry in self._log if entry[0] > up_to_sequence]
+            self._log = kept
+            self._min_retained = max(self._min_retained, up_to_sequence + 1)
+
+    def log_size(self):
+        """Number of messages currently retained for replay."""
+        with self._lock:
+            return len(self._log)
+
+    # ------------------------------------------------------------------
+    # Drain inspection (public API: no reaching into ``_queues``)
+    # ------------------------------------------------------------------
+    def pending_count(self, replica_id=None):
+        """Undelivered messages across all queues (or one replica's)."""
+        with self._lock:
+            return sum(
+                delivery_queue.qsize()
+                for (queue_replica, _thread), delivery_queue in self._queues.items()
+                if replica_id is None or queue_replica == replica_id
+            )
+
+    def is_drained(self, replica_id=None):
+        """True when every delivery queue (or one replica's) is empty."""
+        return self.pending_count(replica_id) == 0
 
     def shutdown(self):
         """Deliver a poison pill to every registered thread."""

@@ -131,6 +131,22 @@ class KeyValueStoreServer:
         )
 
     # ------------------------------------------------------------------
+    # Checkpointing (recovery contract shared by every service)
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Return a restorable serialisation of the full service state."""
+        return {
+            "tree": self._tree.checkpoint(),
+            "commands_executed": self.commands_executed,
+        }
+
+    def restore(self, state):
+        """Rebuild the service in place from a :meth:`checkpoint` value."""
+        self._tree.restore(state["tree"])
+        self.commands_executed = state["commands_executed"]
+        return self
+
+    # ------------------------------------------------------------------
     # State inspection (used to compare replicas in tests)
     # ------------------------------------------------------------------
     def snapshot(self):

@@ -158,6 +158,27 @@ class NetFSServer:
             return Response(uid=command.uid, error=error.errno_name)
 
     # ------------------------------------------------------------------
+    # Checkpointing (recovery contract shared by every service)
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Return a restorable serialisation of the full service state.
+
+        Includes the open-descriptor table (via the file system checkpoint):
+        a recovered replica must honour ``release`` calls on descriptors
+        opened before the checkpoint was taken.
+        """
+        return {
+            "fs": self.fs.checkpoint(),
+            "commands_executed": self.commands_executed,
+        }
+
+    def restore(self, state):
+        """Rebuild the service in place from a :meth:`checkpoint` value."""
+        self.fs.restore(state["fs"])
+        self.commands_executed = state["commands_executed"]
+        return self
+
+    # ------------------------------------------------------------------
     # State inspection
     # ------------------------------------------------------------------
     def snapshot(self):

@@ -1,0 +1,363 @@
+"""Integration tests for crash/recovery in both runtimes.
+
+The threaded tests exercise the real lifecycle — crash a replica's worker
+threads under load, recover via checkpoint transfer plus multicast log
+replay, and verify convergence and linearizability.  The simulation tests
+schedule the same lifecycle at virtual times and verify state convergence
+and the recovery experiment's outputs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.harness.experiments.recovery import run_recovery
+from repro.harness.runner import build_kv_system
+from repro.runtime import ThreadedPSMRCluster, check_linearizable
+from repro.runtime.linearizability import HistoryRecorder
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+from repro.services.netfs import NETFS_SPEC, NetFSServer
+from repro.workload import mixed_workload
+
+
+def kv_cluster(mpl=4, replicas=3, initial_keys=32, **kwargs):
+    return ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=initial_keys),
+        mpl=mpl,
+        num_replicas=replicas,
+        barrier_timeout=20.0,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Threaded runtime: lifecycle basics
+# ----------------------------------------------------------------------
+def test_crash_and_recover_converges_without_load():
+    with kv_cluster(replicas=2) as cluster:
+        client = cluster.client()
+        for key in range(100, 110):
+            assert client.invoke("insert", key=key, value=b"x").error is None
+        cluster.crash_replica(1)
+        assert [r.replica_id for r in cluster.live_replicas()] == [0]
+        # Commands executed while replica 1 is down.
+        for key in range(110, 120):
+            assert client.invoke("insert", key=key, value=b"y").error is None
+        assert client.invoke("delete", key=100).error is None
+        cluster.recover_replica(1)
+        snapshots = cluster.replica_snapshots()
+        assert len(snapshots) == 2
+        assert snapshots[0] == snapshots[1]
+        assert len(snapshots[0]) == 32 + 19
+
+
+def test_crashed_replica_threads_terminate():
+    with kv_cluster(replicas=2) as cluster:
+        client = cluster.client()
+        client.invoke("insert", key=1000, value=b"x")
+        replica = cluster.crash_replica(1)
+        for thread in replica.threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
+
+def test_lifecycle_misuse_raises():
+    with kv_cluster(replicas=2) as cluster:
+        with pytest.raises(RecoveryError):
+            cluster.recover_replica(0)  # not crashed
+        cluster.crash_replica(1)
+        with pytest.raises(RecoveryError):
+            cluster.crash_replica(1)  # already crashed
+        with pytest.raises(RecoveryError):
+            cluster.crash_replica(0)  # last live replica
+        with pytest.raises(RecoveryError):
+            cluster.checkpoint(replica_id=1)  # crashed source
+        cluster.recover_replica(1)
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+def test_checkpoint_marker_is_a_consistent_cut():
+    with kv_cluster(replicas=2) as cluster:
+        client = cluster.client()
+        for key in range(200, 220):
+            client.invoke("insert", key=key, value=b"v")
+        sequence, state = cluster.checkpoint()
+        restored = KeyValueStoreServer()
+        restored.restore(state)
+        cluster.wait_for_quiescence()
+        assert restored.snapshot() == cluster.replicas[0].service.snapshot()
+        assert sequence >= 0
+
+
+def test_recovery_replays_only_the_log_suffix():
+    """The restored service plus replay must not double-apply commands."""
+    with kv_cluster(replicas=2, initial_keys=0) as cluster:
+        client = cluster.client()
+        for key in range(50):
+            assert client.invoke("insert", key=key, value=b"a").error is None
+        cluster.crash_replica(1)
+        for key in range(50):
+            # Re-inserting an existing key fails; deleting it succeeds once.
+            assert client.invoke("delete", key=key).error is None
+        for key in range(25):
+            assert client.invoke("insert", key=key, value=b"b").error is None
+        cluster.recover_replica(1)
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+        assert len(snapshots[0]) == 25
+        counters = [r.service.commands_executed for r in cluster.replicas]
+        assert counters[0] == counters[1]
+
+
+def test_netfs_recovery_preserves_descriptor_table():
+    cluster = ThreadedPSMRCluster(
+        spec=NETFS_SPEC, service_factory=NetFSServer, mpl=4, num_replicas=2
+    )
+    with cluster:
+        client = cluster.client()
+        client.invoke("mkdir", path="/a")
+        client.invoke("mknod", path="/a/f")
+        client.invoke("write", path="/a/f", data=b"hello", offset=0)
+        fd = client.invoke("open", path="/a/f").value
+        cluster.crash_replica(0)
+        client.invoke("write", path="/a/f", data=b" world", offset=5)
+        cluster.recover_replica(0)
+        # The recovered replica honours a descriptor opened pre-crash.
+        assert client.invoke("release", path="/a/f", fd=fd).error is None
+        assert client.invoke("read", path="/a/f", size=16, offset=0).value == b"hello world"
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+# ----------------------------------------------------------------------
+# Threaded runtime: recovery under concurrent load
+# ----------------------------------------------------------------------
+def test_stress_crash_and_recover_under_mixed_load():
+    """N concurrent clients, mixed single/multi-group commands, one replica
+    crashed and recovered mid-run; every replica converges."""
+    with kv_cluster(mpl=4, replicas=3, initial_keys=64) as cluster:
+        stop = threading.Event()
+        errors = []
+
+        def worker(client_index):
+            client = cluster.client()
+            step = 0
+            try:
+                while not stop.is_set():
+                    key = (client_index * 17 + step) % 64
+                    # Single-group commands (keyed routing).
+                    client.invoke("update", key=key, value=f"{client_index}:{step}".encode())
+                    client.invoke("read", key=key)
+                    # Multi-group commands (serial routing) every few steps.
+                    if step % 5 == 0:
+                        client.invoke("insert", key=10_000 + client_index * 1000 + step, value=b"s")
+                    if step % 11 == 0:
+                        client.invoke("delete", key=(client_index * 13 + step) % 64, timeout=20)
+                        client.invoke("insert", key=(client_index * 13 + step) % 64, value=b"r", timeout=20)
+                    step += 1
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(5)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        cluster.crash_replica(1)
+        time.sleep(0.3)
+        cluster.recover_replica(1)
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+        checksums = {replica.service.checksum() for replica in cluster.replicas}
+        assert len(checksums) == 1
+
+
+def test_history_spanning_crash_and_recovery_is_linearizable():
+    """Responses observed across a crash/recovery admit a linearization."""
+    num_clients = 3
+    with kv_cluster(mpl=3, replicas=2, initial_keys=4) as cluster:
+        recorder = HistoryRecorder()
+        # Clients plus the main thread rendezvous between phases so the
+        # crash and the recovery land between well-defined operation sets.
+        phase = threading.Barrier(num_clients + 1)
+        errors = []
+
+        def do_ops(client, client_index, phase_index):
+            for step in range(3):
+                key = (client_index + step) % 3
+                if (client_index + step + phase_index) % 2 == 0:
+                    value = f"c{client_index}p{phase_index}s{step}"
+                    recorder.timed_call(
+                        client_index, "update", {"key": key, "value": value},
+                        lambda k=key, v=value: client.invoke("update", key=k, value=v).error,
+                    )
+                else:
+                    recorder.timed_call(
+                        client_index, "read", {"key": key},
+                        lambda k=key: _read_result(client, k),
+                    )
+
+        def _read_result(client, key):
+            response = client.invoke("read", key=key)
+            return response.value if response.error is None else None
+
+        def worker(client_index):
+            client = cluster.client()
+            try:
+                for phase_index in range(3):
+                    phase.wait()
+                    do_ops(client, client_index, phase_index)
+                    phase.wait()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                phase.abort()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(num_clients)]
+        for thread in threads:
+            thread.start()
+        phase.wait()  # phase 0: both replicas live
+        phase.wait()
+        cluster.crash_replica(1)
+        phase.wait()  # phase 1: replica 1 down
+        phase.wait()
+        cluster.recover_replica(1)
+        phase.wait()  # phase 2: recovered replica serving
+        phase.wait()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        initial = {key: b"\x00" * 8 for key in range(4)}
+        assert check_linearizable(recorder.operations, initial_state=initial)
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+# ----------------------------------------------------------------------
+# Simulated runtime
+# ----------------------------------------------------------------------
+def sim_system(**kwargs):
+    return build_kv_system(
+        "P-SMR", 4, mix=mixed_workload(0.1), execute_state=True,
+        initial_keys=64, key_space=256, seed=5, **kwargs,
+    )
+
+
+def test_sim_crash_and_recover_converges():
+    system = sim_system()
+    system.schedule_crash(1, 0.03)
+    system.schedule_recovery(1, 0.06)
+    result = system.run(warmup=0.01, duration=0.1)
+    assert result.completed > 0
+    record = system.recoveries[0]
+    assert record.done
+    assert record.duration() > 0
+    assert system.live_replica_ids() == [0, 1]
+    assert system.quiesce() == 0
+    state0 = system.replica_state(0)
+    state1 = system.replica_state(1)
+    assert state0.snapshot() == state1.snapshot()
+    assert state0.commands_executed == state1.commands_executed
+
+
+def test_sim_crashed_replica_does_not_execute():
+    system = sim_system()
+    system.schedule_crash(1, 0.02)
+    result = system.run(warmup=0.01, duration=0.05)
+    # Clients are still served by the surviving replica.
+    assert result.completed > 0
+    assert system.live_replica_ids() == [0]
+    executed_down = sum(w.executed for w in system.replicas[1]["workers"])
+    executed_live = sum(w.executed for w in system.replicas[0]["workers"])
+    assert executed_live > executed_down
+
+
+def test_sim_recovery_with_three_replicas_keeps_all_executors_alive():
+    """Regression: with >= 2 live replicas, both executors may reach the
+    recovery marker within one serialisation window; only one may publish
+    the checkpoint, and neither worker may die doing so."""
+    from repro.common.config import ClusterConfig
+    from repro.replication import KVCostProfile, PSMRSystem
+    from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+    from repro.workload import KVWorkloadGenerator
+
+    config = ClusterConfig(
+        num_replicas=3, mpl=4, num_clients=24, client_window=20, seed=7
+    )
+    generator = KVWorkloadGenerator(
+        mix=mixed_workload(0.1), key_space=256, distribution="uniform", seed=11
+    )
+    system = PSMRSystem(
+        config,
+        generator,
+        KVCostProfile(config.costs),
+        spec=KVSTORE_SPEC,
+        execute_state=True,
+        state_factory=lambda: KeyValueStoreServer(initial_keys=64),
+    )
+    system.schedule_crash(2, 0.02)
+    system.schedule_recovery(2, 0.04)
+    system.run(warmup=0.01, duration=0.08)
+    assert system.recoveries[0].done
+    assert system.live_replica_ids() == [0, 1, 2]
+    assert system.quiesce() == 0
+    snapshots = [system.replica_state(i).snapshot() for i in range(3)]
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+    counters = [system.replica_state(i).commands_executed for i in range(3)]
+    assert len(set(counters)) == 1
+    # Every replica's workers kept executing after the marker (no silently
+    # dead executor processes).
+    for replica in system.replicas:
+        assert sum(worker.executed for worker in replica["workers"]) > 0
+
+
+def test_sim_lifecycle_misuse_raises():
+    system = sim_system()
+    with pytest.raises(RecoveryError):
+        system.recover_replica(0)
+    system.crash_replica(1)
+    with pytest.raises(RecoveryError):
+        system.crash_replica(1)
+    with pytest.raises(RecoveryError):
+        system.crash_replica(0)
+
+
+def test_recovery_experiment_produces_dip_and_catchup_table():
+    result = run_recovery(warmup=0.01, duration=0.08, seed=2, buckets=8)
+    assert result["figure"] == "recovery"
+    assert len(result["rows"]) == 8
+    phases = [row["phase"] for row in result["rows"]]
+    assert "before" in phases and "down" in phases and "after" in phases
+    summary = result["summary"]
+    assert summary["catch_up_ms"] is not None and summary["catch_up_ms"] > 0
+    assert summary["before_kcps"] > 0 and summary["down_kcps"] > 0
+    assert "throughput dip" in result["text"] or "catch-up" in result["text"]
+
+
+# ----------------------------------------------------------------------
+# Waiter bookkeeping regressions (threaded client plumbing)
+# ----------------------------------------------------------------------
+def test_invoke_timeout_does_not_leak_waiters():
+    # The cluster is never started: no replica will ever respond.
+    cluster = kv_cluster(replicas=2)
+    client = cluster.client()
+    for _ in range(3):
+        with pytest.raises(TimeoutError):
+            client.invoke("read", key=0, timeout=0.05)
+    assert cluster._waiters == {}
+    assert cluster._responses == {}
+
+
+def test_response_without_waiter_is_dropped():
+    cluster = kv_cluster(replicas=2)
+    from repro.core.command import Response
+
+    cluster._respond((99, 0), Response(uid=(99, 0), value=b"late"))
+    assert cluster._responses == {}

@@ -1,0 +1,190 @@
+"""Property tests: ``restore(checkpoint())`` is a faithful round trip.
+
+For every checkpointable state machine (B+-tree, key-value store, NetFS and
+the raw in-memory file system) a state built through an arbitrary mutation
+history must round-trip to an identical snapshot, and — the stronger
+property recovery relies on — the restored copy must behave *identically*
+to the original on any subsequent command sequence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BPlusTree
+from repro.common.errors import ServiceError
+from repro.fs.memfs import MemoryFileSystem
+from repro.services.kvstore import KeyValueStoreServer
+from repro.services.netfs import NetFSServer
+
+# ----------------------------------------------------------------------
+# B+-tree
+# ----------------------------------------------------------------------
+tree_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "upsert"]),
+        st.integers(min_value=0, max_value=60),
+    ),
+    max_size=150,
+)
+
+
+def apply_tree_op(tree, name, key, step):
+    value = bytes([step % 256])
+    try:
+        if name == "insert":
+            tree.insert(key, value)
+        elif name == "delete":
+            tree.delete(key)
+        elif name == "update":
+            tree.update(key, value)
+        else:
+            tree.upsert(key, value)
+    except ServiceError:
+        pass  # missing/duplicate keys are part of the arbitrary history
+
+
+@settings(max_examples=50, deadline=None)
+@given(history=tree_operations, order=st.sampled_from([4, 5, 8, 32]))
+def test_btree_checkpoint_roundtrip(history, order):
+    tree = BPlusTree(order=order)
+    for step, (name, key) in enumerate(history):
+        apply_tree_op(tree, name, key, step)
+    restored = BPlusTree(order=order)
+    restored.restore(tree.checkpoint())
+    assert list(restored.items()) == list(tree.items())
+    assert len(restored) == len(tree)
+    restored.validate()
+    assert restored.checkpoint() == tree.checkpoint()
+
+
+@settings(max_examples=30, deadline=None)
+@given(history=tree_operations, suffix=tree_operations)
+def test_btree_restored_copy_behaves_identically(history, suffix):
+    tree = BPlusTree(order=5)
+    for step, (name, key) in enumerate(history):
+        apply_tree_op(tree, name, key, step)
+    restored = BPlusTree(order=5)
+    restored.restore(tree.checkpoint())
+    for step, (name, key) in enumerate(suffix):
+        apply_tree_op(tree, name, key, step)
+        apply_tree_op(restored, name, key, step)
+    assert list(restored.items()) == list(tree.items())
+    restored.validate()
+    tree.validate()
+
+
+# ----------------------------------------------------------------------
+# Key-value store service
+# ----------------------------------------------------------------------
+kv_commands = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "read", "update"]),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=150,
+)
+
+
+def run_kv(server, commands):
+    outputs = []
+    for step, (name, key) in enumerate(commands):
+        args = {"key": key}
+        if name in ("insert", "update"):
+            args["value"] = bytes([step % 256, (step // 256) % 256])
+        outputs.append(server.execute(name, args))
+    return outputs
+
+
+@settings(max_examples=50, deadline=None)
+@given(history=kv_commands)
+def test_kvstore_checkpoint_roundtrip(history):
+    server = KeyValueStoreServer(initial_keys=8)
+    run_kv(server, history)
+    restored = KeyValueStoreServer()
+    restored.restore(server.checkpoint())
+    assert restored.snapshot() == server.snapshot()
+    assert restored.checksum() == server.checksum()
+    assert restored.commands_executed == server.commands_executed
+
+
+@settings(max_examples=30, deadline=None)
+@given(history=kv_commands, suffix=kv_commands)
+def test_kvstore_restored_replica_behaves_identically(history, suffix):
+    """The recovery contract: a restored replica is indistinguishable."""
+    server = KeyValueStoreServer(initial_keys=8)
+    run_kv(server, history)
+    restored = KeyValueStoreServer()
+    restored.restore(server.checkpoint())
+    assert run_kv(server, suffix) == run_kv(restored, suffix)
+    assert restored.snapshot() == server.snapshot()
+    assert restored.commands_executed == server.commands_executed
+
+
+# ----------------------------------------------------------------------
+# NetFS service and the raw in-memory file system
+# ----------------------------------------------------------------------
+fs_paths = st.sampled_from(["/a", "/b", "/d", "/d/x", "/d/y"])
+fs_commands = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["mkdir", "mknod", "unlink", "rmdir", "write", "read", "lstat", "readdir"]
+        ),
+        fs_paths,
+    ),
+    max_size=120,
+)
+
+
+def run_netfs(server, commands):
+    outputs = []
+    for step, (name, path) in enumerate(commands):
+        args = {"path": path, "now": float(step)}
+        if name == "write":
+            args["data"] = bytes([step % 256]) * 3
+            args["offset"] = step % 5
+        response = server.apply(type("C", (), {"uid": step, "name": name, "args": args}))
+        outputs.append((response.value, response.error))
+    return outputs
+
+
+@settings(max_examples=50, deadline=None)
+@given(history=fs_commands)
+def test_netfs_checkpoint_roundtrip(history):
+    server = NetFSServer()
+    run_netfs(server, history)
+    restored = NetFSServer()
+    restored.restore(server.checkpoint())
+    assert restored.snapshot() == server.snapshot()
+    assert restored.commands_executed == server.commands_executed
+    assert restored.fs.open_descriptors() == server.fs.open_descriptors()
+
+
+@settings(max_examples=30, deadline=None)
+@given(history=fs_commands, suffix=fs_commands)
+def test_netfs_restored_replica_behaves_identically(history, suffix):
+    server = NetFSServer()
+    run_netfs(server, history)
+    restored = NetFSServer()
+    restored.restore(server.checkpoint())
+    assert run_netfs(server, suffix) == run_netfs(restored, suffix)
+    assert restored.snapshot() == server.snapshot()
+
+
+def test_memfs_checkpoint_preserves_descriptor_table():
+    """Descriptors — even on unlinked files — survive the round trip."""
+    fs = MemoryFileSystem()
+    fs.mkdir("/d")
+    fs.mknod("/d/f")
+    fs.write(path="/d/f", data=b"payload", offset=0)
+    fd = fs.open("/d/f", now=1.0)
+    fs.unlink("/d/f", now=2.0)  # open-but-unlinked: only the fd keeps it alive
+
+    restored = MemoryFileSystem()
+    restored.restore(fs.checkpoint())
+    assert restored.open_descriptors() == fs.open_descriptors()
+    assert restored.read(fd=fd, size=16) == b"payload"
+    assert restored.tree_snapshot() == fs.tree_snapshot()
+    # Descriptor allocation stays deterministic after the restore.
+    restored.mknod("/d/g")
+    fs.mknod("/d/g")
+    assert restored.open("/d/g") == fs.open("/d/g")
+    assert restored.release(fd) == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the threaded runtime's atomic multicast.
+
+Covers the public drain API (``pending_count``/``is_drained``), the retained
+log with its replay API, and atomic replica (de)registration — the building
+blocks of crash recovery.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RecoveryError
+from repro.multicast.group import ALL_GROUPS
+from repro.runtime.multicast import LocalAtomicMulticast
+
+
+def make_multicast(mpl=2, replicas=(0, 1), retention=None):
+    multicast = LocalAtomicMulticast(mpl, retention=retention)
+    queues = {
+        replica_id: multicast.register_replica(replica_id, range(1, mpl + 1))
+        for replica_id in replicas
+    }
+    return multicast, queues
+
+
+def drain(queue_):
+    items = []
+    while not queue_.empty():
+        items.append(queue_.get_nowait())
+    return items
+
+
+class TestDrainApi:
+    def test_empty_multicast_is_drained(self):
+        multicast, _queues = make_multicast()
+        assert multicast.pending_count() == 0
+        assert multicast.is_drained()
+
+    def test_pending_count_counts_every_subscribed_queue(self):
+        multicast, _queues = make_multicast(mpl=2, replicas=(0, 1))
+        multicast.multicast([1], "to-group-1")
+        # Two replicas, one thread each subscribed to group 1.
+        assert multicast.pending_count() == 2
+        assert not multicast.is_drained()
+        multicast.multicast(ALL_GROUPS, "to-everyone")
+        assert multicast.pending_count() == 2 + 4
+
+    def test_pending_count_per_replica(self):
+        multicast, queues = make_multicast(mpl=2, replicas=(0, 1))
+        multicast.multicast([2], "x")
+        assert multicast.pending_count(replica_id=0) == 1
+        assert multicast.pending_count(replica_id=1) == 1
+        drain(queues[0][2])
+        assert multicast.pending_count(replica_id=0) == 0
+        assert not multicast.is_drained()
+        assert multicast.is_drained(replica_id=0)
+
+    def test_is_drained_after_consuming(self):
+        multicast, queues = make_multicast()
+        multicast.multicast([1, 2], "sync")
+        for replica_queues in queues.values():
+            for queue_ in replica_queues.values():
+                drain(queue_)
+        assert multicast.is_drained()
+
+
+class TestRegistration:
+    def test_register_replica_rejects_duplicates(self):
+        multicast, _queues = make_multicast(replicas=(0,))
+        with pytest.raises(ConfigurationError):
+            multicast.register_replica(0, [1])
+
+    def test_unregister_stops_deliveries(self):
+        multicast, queues = make_multicast(mpl=2, replicas=(0, 1))
+        removed = multicast.unregister_replica(1)
+        assert sorted(removed) == [1, 2]
+        multicast.multicast([1], "after-unregister")
+        assert multicast.pending_count(replica_id=1) == 0
+        assert queues[0][1].qsize() == 1
+        assert multicast.replica_ids() == [0]
+
+    def test_unregister_unknown_replica_is_a_noop(self):
+        multicast, _queues = make_multicast(replicas=(0,))
+        assert multicast.unregister_replica(7) == {}
+
+
+class TestLogReplay:
+    def test_log_suffix_filters_by_thread_and_sequence(self):
+        multicast, _queues = make_multicast(mpl=2, replicas=(0,))
+        s0 = multicast.multicast([1], "a")
+        s1 = multicast.multicast([2], "b")
+        s2 = multicast.multicast(ALL_GROUPS, "c")
+        assert [p for _s, _d, p in multicast.log_suffix(1, -1)] == ["a", "c"]
+        assert [p for _s, _d, p in multicast.log_suffix(2, -1)] == ["b", "c"]
+        assert [p for _s, _d, p in multicast.log_suffix(1, s0)] == ["c"]
+        assert multicast.log_suffix(2, s2) == []
+        assert s0 < s1 < s2
+
+    def test_register_replica_with_replay_prefills_exact_suffix(self):
+        multicast, _queues = make_multicast(mpl=2, replicas=(0,))
+        checkpoint_seq = multicast.multicast([1], "before")
+        multicast.multicast([1], "after-1")
+        multicast.multicast(ALL_GROUPS, "after-2")
+        queues = multicast.register_replica(9, [1, 2], after_sequence=checkpoint_seq)
+        assert [payload for _s, _d, payload in drain(queues[1])] == [
+            "after-1",
+            "after-2",
+        ]
+        assert [payload for _s, _d, payload in drain(queues[2])] == ["after-2"]
+        # The new replica now receives live traffic too.
+        multicast.multicast([2], "live")
+        assert queues[2].qsize() == 1
+
+    def test_replayed_items_carry_original_sequence_numbers(self):
+        multicast, _queues = make_multicast(mpl=2, replicas=(0,))
+        sequences = [multicast.multicast([1], f"m{i}") for i in range(3)]
+        queues = multicast.register_replica(5, [1], after_sequence=sequences[0])
+        replayed = drain(queues[1])
+        assert [sequence for sequence, _d, _p in replayed] == sequences[1:]
+
+
+class TestRetention:
+    def test_retention_bounds_the_log(self):
+        multicast, _queues = make_multicast(replicas=(0,), retention=2)
+        for i in range(5):
+            multicast.multicast([1], f"m{i}")
+        assert multicast.log_size() == 2
+
+    def test_replay_past_truncation_raises(self):
+        multicast, _queues = make_multicast(replicas=(0,), retention=2)
+        for i in range(5):
+            multicast.multicast([1], f"m{i}")
+        with pytest.raises(RecoveryError):
+            multicast.log_suffix(1, 0)
+        with pytest.raises(RecoveryError):
+            multicast.register_replica(3, [1], after_sequence=0)
+        # Replaying from inside the retained window still works.
+        assert [p for _s, _d, p in multicast.log_suffix(1, 3)] == ["m4"]
+
+    def test_truncate_log_explicitly(self):
+        multicast, _queues = make_multicast(replicas=(0,))
+        sequences = [multicast.multicast([1], f"m{i}") for i in range(4)]
+        multicast.truncate_log(sequences[1])
+        assert multicast.log_size() == 2
+        with pytest.raises(RecoveryError):
+            multicast.log_suffix(1, sequences[0])
+        assert [p for _s, _d, p in multicast.log_suffix(1, sequences[1])] == [
+            "m2",
+            "m3",
+        ]
