@@ -5,15 +5,20 @@ Part 1 drives the threaded cluster through a full lifecycle: load, crash a
 replica, keep serving, recover it (checkpoint transfer + log replay) and
 show that every replica converges to the same state.
 
-Part 2 runs the simulated recovery experiment: a replica is crashed and
+Part 2 turns on a periodic CheckpointPolicy: the background scheduler keeps
+the multicast replay log bounded while commands flow, a replica crashed past
+its replayable horizon is recovered via full state transfer, and two
+simultaneously-crashed replicas heal from one shared checkpoint.
+
+Part 3 runs the simulated recovery experiments: a replica is crashed and
 recovered at virtual times while a mixed workload runs, producing the
-throughput-over-time and catch-up-time tables.
+throughput-over-time, catch-up-time and checkpoint-scaling tables.
 
 Run with:  python examples/recovery_demo.py
 """
 
-from repro.harness.experiments import run_recovery
-from repro.runtime import ThreadedPSMRCluster
+from repro.harness.experiments import run_checkpoint_scaling, run_recovery
+from repro.runtime import CheckpointPolicy, ThreadedPSMRCluster
 from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
 
 
@@ -45,14 +50,47 @@ def threaded_lifecycle():
               f"recovered executed {replica.service.commands_executed} commands)")
 
 
+def periodic_checkpointing():
+    print("\nThreaded cluster: periodic checkpoints keep the replay log bounded")
+    policy = CheckpointPolicy(every_messages=50, max_replay_lag=200)
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=16),
+        mpl=2,
+        num_replicas=3,
+        checkpoint_policy=policy,
+    )
+    with cluster:
+        client = cluster.client()
+        for step in range(400):
+            client.invoke("update", key=step % 16, value=f"v{step}".encode())
+        print(f"  after 400 commands: log_size={cluster.multicast.log_size()} "
+              f"(checkpoints={cluster.checkpoints_taken}, "
+              f"truncations={cluster.truncations})")
+        cluster.crash_replicas([1, 2])
+        for step in range(300):  # push the victims past their 200-message horizon
+            client.invoke("update", key=step % 16, value=b"while-down")
+        cluster.periodic_checkpoint()
+        print(f"  replica 1 needs full transfer: "
+              f"{cluster.replicas[1].needs_full_transfer}")
+        cluster.recover_replicas([1, 2])  # one shared checkpoint for both
+        snapshots = cluster.replica_snapshots()
+        print(f"  recovered both from one checkpoint; converged: "
+              f"{snapshots[0] == snapshots[1] == snapshots[2]}")
+
+
 def simulated_experiment():
     print("\nSimulated recovery experiment (virtual-time crash/recovery)")
     result = run_recovery(duration=0.12)
+    print(result["text"])
+    print("\nSimulated checkpoint-scaling experiment (recovery vs. state size)")
+    result = run_checkpoint_scaling(duration=0.06)
     print(result["text"])
 
 
 def main():
     threaded_lifecycle()
+    periodic_checkpointing()
     simulated_experiment()
 
 

@@ -19,6 +19,7 @@ from repro.harness.experiments import (
     run_ablation_batch_size,
     run_ablation_cg_granularity,
     run_ablation_merge_policy,
+    run_checkpoint_scaling,
     run_fig3_independent,
     run_fig4_dependent,
     run_fig5_scalability,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "fig7": (run_fig7_skew, False),
     "fig8": (run_fig8_netfs, True),
     "recovery": (run_recovery, True),
+    "checkpoint-scaling": (run_checkpoint_scaling, True),
     "ablation-merge": (run_ablation_merge_policy, True),
     "ablation-cg": (run_ablation_cg_granularity, True),
     "ablation-batch": (run_ablation_batch_size, True),

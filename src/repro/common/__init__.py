@@ -14,6 +14,7 @@ from repro.common.errors import (
     KeyNotFoundError,
     FileSystemError,
 )
+from repro.common.checkpoint import CheckpointPolicy, estimate_checkpoint_size
 from repro.common.ids import IdGenerator, make_command_uid
 from repro.common.config import (
     ClusterConfig,
@@ -30,6 +31,8 @@ __all__ = [
     "ServiceError",
     "KeyNotFoundError",
     "FileSystemError",
+    "CheckpointPolicy",
+    "estimate_checkpoint_size",
     "IdGenerator",
     "make_command_uid",
     "ClusterConfig",

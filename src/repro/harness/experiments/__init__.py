@@ -11,7 +11,7 @@ from repro.harness.experiments.scalability import run_fig5_scalability
 from repro.harness.experiments.mixed import run_fig6_mixed
 from repro.harness.experiments.skew import run_fig7_skew
 from repro.harness.experiments.netfs import run_fig8_netfs
-from repro.harness.experiments.recovery import run_recovery
+from repro.harness.experiments.recovery import run_checkpoint_scaling, run_recovery
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -27,6 +27,7 @@ __all__ = [
     "run_fig7_skew",
     "run_fig8_netfs",
     "run_recovery",
+    "run_checkpoint_scaling",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

@@ -1,12 +1,21 @@
-"""Recovery experiment: availability under a replica crash (beyond Figures 3-8).
+"""Recovery experiments: availability under a replica crash (beyond Figures 3-8).
 
-One P-SMR deployment executes a mixed workload while a replica is crashed
-partway through the measurement window and recovered later.  Completions
-are bucketed over time to expose the throughput dip, and the recovery
-record yields the catch-up time (marker ordering + checkpoint transfer +
-restore, per the paper's section IV replica model).
+Two modes:
+
+* :func:`run_recovery` — one P-SMR deployment executes a mixed workload
+  while a replica is crashed partway through the measurement window and
+  recovered later.  Completions are bucketed over time to expose the
+  throughput dip, and the recovery record yields the catch-up time (marker
+  ordering + checkpoint transfer + restore, per the paper's section IV
+  replica model).
+* :func:`run_checkpoint_scaling` — the same crash/recovery lifecycle run at
+  several state sizes under a periodic
+  :class:`~repro.common.checkpoint.CheckpointPolicy`, reporting how
+  recovery latency scales with checkpoint size and the steady-state replay
+  ``log_size()`` the policy maintains.
 """
 
+from repro.common.checkpoint import CheckpointPolicy
 from repro.harness.runner import DEFAULT_WARMUP, build_kv_system
 from repro.harness.tables import format_table
 from repro.workload import mixed_workload
@@ -139,5 +148,92 @@ def run_recovery(
         "rows": rows,
         "summary": summary,
         "expectations": EXPECTATIONS,
+        "text": text,
+    }
+
+
+#: What the checkpoint-scaling mode is expected to show.
+SCALING_EXPECTATIONS = {
+    "catch_up": "recovery latency grows with state size (checkpoint transfer dominates)",
+    "log_size": "the periodic policy keeps the replay log bounded at every state size",
+}
+
+
+def run_checkpoint_scaling(
+    warmup=DEFAULT_WARMUP,
+    duration=0.08,
+    seed=1,
+    mpl=4,
+    state_sizes=(64, 512, 2048),
+    checkpoint_every_seconds=0.01,
+    crash_replica=1,
+    crash_at_fraction=0.3,
+    recover_at_fraction=0.6,
+    dependent_fraction=0.1,
+):
+    """Recovery latency vs. state size under a periodic checkpoint policy.
+
+    For each state size, a P-SMR deployment runs the mixed workload with
+    periodic checkpoints enabled; one replica is crashed and recovered
+    mid-window.  Rows report the checkpoint size, the measured catch-up
+    time, and the steady-state virtual replay-log length under the policy.
+    """
+    rows = []
+    for initial_keys in state_sizes:
+        policy = CheckpointPolicy(every_seconds=checkpoint_every_seconds)
+        system = build_kv_system(
+            "P-SMR",
+            mpl,
+            mix=mixed_workload(dependent_fraction),
+            execute_state=True,
+            initial_keys=initial_keys,
+            key_space=max(2 * initial_keys, 128),
+            seed=seed,
+            checkpoint_policy=policy,
+        )
+        crash_at = warmup + crash_at_fraction * duration
+        recover_at = warmup + recover_at_fraction * duration
+        system.schedule_crash(crash_replica, crash_at)
+        system.schedule_recovery(crash_replica, recover_at)
+        result = system.run(warmup=warmup, duration=duration)
+        record = system.recoveries[0] if system.recoveries else None
+        checkpoints_done = sum(1 for ticket in system.checkpoints if ticket.done)
+        rows.append(
+            {
+                "initial_keys": initial_keys,
+                "checkpoint_kb": round(
+                    system.replica_state(0).checkpoint_size_bytes() / 1024.0, 1
+                ),
+                "catch_up_ms": (
+                    round(record.duration() * 1000.0, 3)
+                    if record is not None and record.done
+                    else None
+                ),
+                "checkpoints": checkpoints_done,
+                "steady_log_size": system.log_size(),
+                "ordered_total": system.log_appends,
+                "throughput_kcps": round(result.throughput_kcps, 1),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=[
+            "initial_keys",
+            "checkpoint_kb",
+            "catch_up_ms",
+            "checkpoints",
+            "steady_log_size",
+            "ordered_total",
+            "throughput_kcps",
+        ],
+        title=(
+            f"Checkpoint scaling - recovery latency vs. state size "
+            f"(mpl={mpl}, checkpoint every {checkpoint_every_seconds * 1000:.0f} ms)"
+        ),
+    )
+    return {
+        "figure": "checkpoint-scaling",
+        "rows": rows,
+        "expectations": SCALING_EXPECTATIONS,
         "text": text,
     }

@@ -64,9 +64,14 @@ def build_kv_system(
     batch_max_bytes=None,
     execute_state=False,
     initial_keys=0,
+    checkpoint_policy=None,
 ):
     """Construct (but do not run) one technique over the key-value store."""
     mix = mix if mix is not None else READ_ONLY_MIX
+    if checkpoint_policy is not None and technique != "P-SMR":
+        raise ConfigurationError(
+            "periodic checkpoint policies are implemented for P-SMR only"
+        )
     num_clients = num_clients if num_clients is not None else default_clients(technique, threads)
     num_replicas = 1 if technique in ("no-rep", "BDB") else 2
     config = _base_config(threads, num_clients, seed, num_replicas=num_replicas)
@@ -92,7 +97,7 @@ def build_kv_system(
         return PSMRSystem(
             config, generator, profile, spec=KVSTORE_SPEC, coarse_cg=coarse_cg,
             merge_policy=merge_policy, execute_state=execute_state,
-            state_factory=state_factory,
+            state_factory=state_factory, checkpoint_policy=checkpoint_policy,
         )
     if technique == "SMR":
         return SMRSystem(

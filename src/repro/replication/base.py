@@ -14,6 +14,7 @@ Pieces used by every technique:
   every technique.
 """
 
+from repro.common.checkpoint import CheckpointPolicy, estimate_checkpoint_size
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.common.rng import SeededRNG
@@ -36,28 +37,37 @@ def call_after(env, delay, callback):
 #: it before normal execution-mode planning.
 RECOVERY_COMMAND = "__recover__"
 
+#: Name of the control command that carries a *periodic checkpoint* marker
+#: through the ordered streams (the simulated mirror of the threaded
+#: runtime's ``CheckpointMarker`` with ``source_replica_id=None``): every
+#: live replica pays the checkpoint serialisation cost at the marker cut,
+#: and once all of them have, the virtual replay log is truncated (at zero
+#: simulated cost — truncation is pure bookkeeping).
+CHECKPOINT_COMMAND = "__checkpoint__"
 
-def estimate_checkpoint_size(state, default=4096):
-    """Estimate the wire size of a checkpoint, for transfer-time accounting.
+# ``CheckpointPolicy`` and ``estimate_checkpoint_size`` live in
+# :mod:`repro.common.checkpoint` (both runtimes share them) and stay
+# importable from this module for the simulated side's historical path.
 
-    Walks the plain containers produced by the services' ``checkpoint()``
-    methods; unknown leaf types are charged a flat 8 bytes.  When there is no
-    materialised state (``execute_state=False`` deployments), ``default``
-    models the paper's small-application checkpoint.
+
+class CheckpointTicket:
+    """Bookkeeping for one periodic checkpoint marker in the simulation.
+
+    ``installed`` collects the replicas that materialised a checkpoint at
+    the marker cut; once every live replica has, ``completed_at`` is
+    stamped and the virtual log is truncated up to ``append_count`` (the
+    number of commands ordered before the marker was submitted).
     """
-    if state is None:
-        return default
 
-    def walk(value):
-        if isinstance(value, (bytes, bytearray, str)):
-            return len(value) + 8
-        if isinstance(value, dict):
-            return 16 + sum(walk(k) + walk(v) for k, v in value.items())
-        if isinstance(value, (list, tuple)):
-            return 16 + sum(walk(item) for item in value)
-        return 8
+    def __init__(self, env, append_count):
+        self.started_at = env.now
+        self.append_count = append_count
+        self.installed = set()
+        self.completed_at = None
 
-    return walk(state)
+    @property
+    def done(self):
+        return self.completed_at is not None
 
 
 class ReplicaHealth:

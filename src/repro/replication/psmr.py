@@ -21,9 +21,11 @@ from repro.core.protocol import plan_execution
 from repro.core.cg import CGFunction
 from repro.multicast.group import ALL_GROUPS, GroupLayout
 from repro.replication.base import (
+    CHECKPOINT_COMMAND,
     RECOVERY_COMMAND,
     BarrierBoard,
     BaseSystem,
+    CheckpointTicket,
     RecoveryRecord,
     ReplicaHealth,
     SimStream,
@@ -92,6 +94,13 @@ class PsmrWorker:
                     chunk = []
                     chunk_cost = 0.0
                 yield from self._recovery_marker(command)
+                continue
+            if command.name == CHECKPOINT_COMMAND:
+                if chunk or chunk_cost > 0:
+                    yield from self._flush_chunk(chunk, chunk_cost)
+                    chunk = []
+                    chunk_cost = 0.0
+                yield from self._checkpoint_marker(command)
                 continue
             if self.health.crashed:
                 # A crashed replica loses the delivery; the commands it
@@ -211,6 +220,7 @@ class PsmrWorker:
                 self.state.restore(checkpoint)
             self.health.recover()
             record.completed_at = self.env.now
+            self.system.replica_recovered(self.replica_id, record.started_at)
         elif not self.health.crashed and not record.claimed:
             # Claim before yielding: another live replica's executor may
             # reach the marker during our serialisation window, and only
@@ -230,6 +240,39 @@ class PsmrWorker:
         # try_complete: a concurrent crash may have reset this barrier.
         self.barrier.try_complete(uid, self.env.now)
 
+    def _checkpoint_marker(self, command):
+        """Handle a periodic checkpoint marker ordered through ``g_all``.
+
+        Mirror of the threaded runtime's periodic ``CheckpointMarker``:
+        synchronous mode on every replica, and each *live* replica's
+        executor pays the checkpoint serialisation cost (delivery plus
+        state size over NIC bandwidth) — which is what makes periodic
+        checkpointing's overhead visible in client throughput.  Once every
+        live replica has installed the checkpoint, the system truncates its
+        virtual replay log at zero simulated cost.
+        """
+        ticket = command.args["ticket"]
+        uid = command.uid
+        costs = self.costs
+        plan = plan_execution(ALL_GROUPS, self.index, self.mpl)
+        if plan.mode == "assist":
+            self.barrier.signal(uid, self.index)
+            yield self.barrier.done_event(uid)
+            return
+        # Executor (thread 1; with mpl == 1 the plan degenerates to parallel).
+        ready = self.barrier.expect(uid, plan.peers)
+        yield ready
+        if not self.health.crashed:
+            checkpoint = self.state.checkpoint() if self.state is not None else None
+            size = estimate_checkpoint_size(checkpoint)
+            serialize = costs.delivery + size / costs.nic_bandwidth
+            yield self.env.timeout(serialize)
+            if not self.health.crashed:
+                self.system.cpu.charge(self.cpu_name, serialize, self.env.now)
+                self.system.checkpoint_installed(self.replica_id, ticket)
+        # try_complete: a concurrent crash may have reset this barrier.
+        self.barrier.try_complete(uid, self.env.now)
+
     def _apply(self, command):
         if self.state is None:
             return None
@@ -243,10 +286,12 @@ class PSMRSystem(BaseSystem):
     name = "P-SMR"
 
     def __init__(self, config, generator, profile, spec, coarse_cg=False,
-                 merge_policy=None, execute_state=False, state_factory=None):
+                 merge_policy=None, execute_state=False, state_factory=None,
+                 checkpoint_policy=None):
         self.spec = spec
         self.coarse_cg = coarse_cg
         self._merge_policy_override = merge_policy
+        self.checkpoint_policy = checkpoint_policy
         super().__init__(
             config,
             generator,
@@ -277,6 +322,17 @@ class PSMRSystem(BaseSystem):
         self.replicas = []
         self.recoveries = []
         self._recovery_sequence = itertools.count()
+        #: Periodic-checkpoint bookkeeping (virtual replay-log accounting:
+        #: appends are counted per ordered client command, truncation is
+        #: zero-cost and happens when a checkpoint marker completes).
+        self.checkpoints = []
+        self.log_appends = 0
+        self._log_truncated = 0
+        self._last_checkpoint_appends = 0
+        self._checkpoint_inflight = None
+        self._checkpoint_sequence = itertools.count()
+        if self.checkpoint_policy is not None and self.checkpoint_policy.every_seconds:
+            self.env.process(self._checkpoint_clock(), name="psmr-checkpoint-clock")
         for replica_id in range(config.num_replicas):
             barrier = BarrierBoard(self.env)
             cache = KeyCache(config.costs.cache_size)
@@ -309,7 +365,16 @@ class PSMRSystem(BaseSystem):
         gamma = self.cg.groups_for(command.name, command.args)
         command.destinations = gamma
         stream_id = self.layout.stream_for_destinations(gamma)
+        self.log_appends += 1
         self.streams[stream_id].submit(command)
+        policy = self.checkpoint_policy
+        if (
+            policy is not None
+            and policy.every_messages is not None
+            and self.log_appends - self._last_checkpoint_appends
+            >= policy.every_messages
+        ):
+            self.submit_checkpoint_marker()
 
     def threads_per_server(self):
         return self.config.mpl
@@ -336,6 +401,11 @@ class PSMRSystem(BaseSystem):
             raise RecoveryError("cannot crash the last live replica")
         replica["health"].crash()
         replica["barrier"].reset()
+        # A periodic checkpoint marker waiting on this replica must not
+        # stay pending forever: the live set just shrank, so the in-flight
+        # ticket may now be complete.
+        if self._checkpoint_inflight is not None:
+            self._maybe_complete_checkpoint(self._checkpoint_inflight)
         return replica
 
     def recover_replica(self, replica_id):
@@ -368,3 +438,81 @@ class PSMRSystem(BaseSystem):
             for replica_id, replica in enumerate(self.replicas)
             if not replica["health"].crashed
         ]
+
+    # ------------------------------------------------------------------
+    # Periodic checkpoints and virtual log truncation
+    # ------------------------------------------------------------------
+    def _checkpoint_clock(self):
+        """Time half of the checkpoint policy, at virtual times."""
+        period = self.checkpoint_policy.every_seconds
+        while True:
+            yield self.env.timeout(period)
+            self.submit_checkpoint_marker()
+
+    def submit_checkpoint_marker(self):
+        """Order one periodic checkpoint marker through ``g_all``.
+
+        At most one marker is in flight at a time (a slow barrier must not
+        pile markers up behind itself).  Returns the new
+        :class:`~repro.replication.base.CheckpointTicket`, or ``None`` when
+        one is already pending.
+        """
+        if self._checkpoint_inflight is not None and not self._checkpoint_inflight.done:
+            return None
+        ticket = CheckpointTicket(self.env, append_count=self.log_appends)
+        command = Command(
+            uid=(CHECKPOINT_COMMAND, next(self._checkpoint_sequence)),
+            name=CHECKPOINT_COMMAND,
+            args={"ticket": ticket},
+            size_bytes=64,
+            submitted_at=self.env.now,
+        )
+        command.destinations = ALL_GROUPS
+        self.streams[GroupLayout.ALL_STREAM_ID].submit(command)
+        self._checkpoint_inflight = ticket
+        self.checkpoints.append(ticket)
+        self._last_checkpoint_appends = self.log_appends
+        return ticket
+
+    def checkpoint_installed(self, replica_id, ticket):
+        """One replica finished its checkpoint at a marker cut."""
+        ticket.installed.add(replica_id)
+        self._maybe_complete_checkpoint(ticket)
+
+    def replica_recovered(self, replica_id, recovery_started_at):
+        """Credit a just-recovered replica on a ticket it skipped while down.
+
+        Only tickets submitted before the recovery marker qualify: the
+        replica skipped those markers while crashed, and the peer
+        checkpoint it restored — taken at the later-ordered recovery
+        marker — covers their cuts.  Without the credit such a ticket
+        would wait forever on the recovered replica and stall every
+        future checkpoint.  A ticket submitted *after* the recovery
+        marker is left alone: the replica executes that marker itself
+        (and pays for it) once it is back online.
+        """
+        ticket = self._checkpoint_inflight
+        if ticket is not None and ticket.started_at <= recovery_started_at:
+            ticket.installed.add(replica_id)
+            self._maybe_complete_checkpoint(ticket)
+
+    def _maybe_complete_checkpoint(self, ticket):
+        if ticket.done or not set(self.live_replica_ids()) <= ticket.installed:
+            return
+        ticket.completed_at = self.env.now
+        # Truncation is pure bookkeeping: dropping the prefix of the
+        # replay log costs no simulated time (threaded side: list slice
+        # under the sequencer lock).
+        self._log_truncated = max(self._log_truncated, ticket.append_count)
+        if self._checkpoint_inflight is ticket:
+            self._checkpoint_inflight = None
+
+    def log_size(self):
+        """Virtual replay-log length: ordered commands minus truncated prefix.
+
+        Accounting only — simulated recovery restores a fresh peer
+        checkpoint from the streams rather than replaying a log, so the
+        policy's ``max_replay_lag`` horizon and crashed-replica pinning
+        apply to the threaded runtime alone.
+        """
+        return self.log_appends - self._log_truncated

@@ -14,12 +14,14 @@ the same deterministic interleaving of its group and ``g_all``, which is
 the property the paper's deterministic merge provides.
 """
 
+from repro.common.checkpoint import CheckpointPolicy
 from repro.runtime.multicast import LocalAtomicMulticast
 from repro.runtime.cluster import CheckpointMarker, ThreadedPSMRCluster, ThreadedClient
 from repro.runtime.linearizability import HistoryRecorder, check_linearizable
 
 __all__ = [
     "CheckpointMarker",
+    "CheckpointPolicy",
     "LocalAtomicMulticast",
     "ThreadedPSMRCluster",
     "ThreadedClient",

@@ -15,10 +15,22 @@ synchronous mode, so each live replica snapshots its service at the same
 consistent cut; the recovering replica restores a peer's checkpoint and is
 registered with the multicast log suffix after the marker's sequence
 number, then re-delivers it to its ``mpl`` workers and rejoins.
+
+Passing a :class:`~repro.common.checkpoint.CheckpointPolicy` turns on the
+checkpoint-scheduling and log-compaction subsystem: a background scheduler
+periodically multicasts a *local* checkpoint marker (``source_replica_id is
+None``) at which **every** live replica snapshots its own service, advancing
+its installed-checkpoint watermark; the multicast log is then truncated up
+to the minimum watermark across all replicas.  A crashed replica keeps
+pinning the log at its last watermark — so it can later recover cheaply by
+replaying the suffix it missed — until its lag exceeds the policy's
+``max_replay_lag``, at which point it is marked as requiring a full state
+transfer (a fresh peer checkpoint) and the log is truncated without it.
 """
 
 import itertools
 import threading
+import time
 
 from repro.common.errors import ConfigurationError, RecoveryError, ReplicaCrashedError
 from repro.core.cg import CGFunction
@@ -78,35 +90,62 @@ class _BarrierSync:
 
 
 class CheckpointMarker:
-    """A control message that snapshots one replica at a consistent cut.
+    """A control message that snapshots replicas at a consistent cut.
 
     The marker is multicast to :data:`ALL_GROUPS`, so it is totally ordered
     against every command.  On delivery it is executed in synchronous mode
     by every replica: thread 1 waits until all its sibling threads have
     reached the marker (at which point the replica's service reflects
-    exactly the commands ordered before the marker).  Only the requested
-    ``source_replica_id`` then materialises ``service.checkpoint()`` —
-    the other replicas pay just the barrier, which is what makes the cut
-    consistent cluster-wide without N copies of the state.
+    exactly the commands ordered before the marker).
+
+    With a concrete ``source_replica_id``, only that replica materialises
+    ``service.checkpoint()`` — the other replicas pay just the barrier,
+    which is what makes the cut consistent cluster-wide without N copies of
+    the state.  With ``source_replica_id=None`` (a *periodic* marker) every
+    replica takes a local checkpoint at the cut, keeping the state to
+    itself and advancing its installed-checkpoint watermark; the marker
+    only records completion, which is what log truncation waits on.
     """
 
     _ids = itertools.count()
 
-    def __init__(self, source_replica_id):
+    def __init__(self, source_replica_id=None):
         self.uid = ("__checkpoint__", next(self._ids))
         self.source_replica_id = source_replica_id
         self._lock = threading.Lock()
         self._delivered = set()
         self._results = {}
+        self._failures = {}
         self._events = {}
 
     def deliver(self, replica_id, sequence, state):
-        """Record one replica's checkpoint (first delivery wins on replay)."""
+        """Record one replica's checkpoint (first delivery wins on replay).
+
+        A delivery after :meth:`fail` is dropped too: the waiter already
+        raised, and storing the state would pin it inside the marker (which
+        the retained multicast log may reference) with no consumer — e.g.
+        when a failed source marker is re-executed during suffix replay.
+        """
         with self._lock:
-            if replica_id in self._delivered:
+            if replica_id in self._delivered or replica_id in self._failures:
                 return
             self._delivered.add(replica_id)
             self._results[replica_id] = (sequence, state)
+            event = self._events.get(replica_id)
+        if event is not None:
+            event.set()
+
+    def fail(self, replica_id, exc):
+        """Mark ``replica_id`` as unable to deliver (it crashed mid-marker).
+
+        Wakes any :meth:`wait_for` caller immediately with ``exc`` instead
+        of letting it run into the full barrier timeout.  A checkpoint that
+        was already delivered wins over a later crash.
+        """
+        with self._lock:
+            if replica_id in self._delivered or replica_id in self._failures:
+                return
+            self._failures[replica_id] = exc
             event = self._events.get(replica_id)
         if event is not None:
             event.set()
@@ -116,14 +155,20 @@ class CheckpointMarker:
 
         The result is handed over (dropped from the marker) so a marker
         retained in the multicast log does not pin the state in memory.
+        Raises the failure recorded by :meth:`fail` if the replica crashed
+        before delivering, or :class:`TimeoutError` on timeout.
         """
         with self._lock:
             if replica_id in self._results:
                 return self._results.pop(replica_id)
+            if replica_id in self._failures:
+                raise self._failures[replica_id]
             event = self._events.setdefault(replica_id, threading.Event())
         if not event.wait(timeout):
             raise TimeoutError(f"no checkpoint from replica {replica_id}")
         with self._lock:
+            if replica_id in self._failures:
+                raise self._failures[replica_id]
             return self._results.pop(replica_id)
 
 
@@ -136,7 +181,16 @@ class _Replica:
         self.service = service
         self.barrier = _BarrierSync()
         self.crashed = False
-        self.last_checkpoint = None  # (sequence, state) of the latest marker
+        self.last_checkpoint = None  # (sequence, state) of the latest local checkpoint
+        #: Sequence number of the latest installed checkpoint; -1 means the
+        #: initial service state (the cut before any message).  The log must
+        #: retain everything after this watermark for the replica to recover
+        #: by suffix replay.
+        self.checkpoint_watermark = -1
+        #: Set once the log has been truncated past this (crashed) replica's
+        #: watermark: suffix replay is no longer possible and recovery must
+        #: perform a full state transfer from a live peer.
+        self.needs_full_transfer = False
         self.delivered = [0] * (cluster.mpl + 1)
         self.threads = []
         for index in range(1, cluster.mpl + 1):
@@ -204,9 +258,17 @@ class _Replica:
         self.barrier.wait_for_peers(
             marker.uid, peers, timeout=self.cluster.barrier_timeout
         )
-        if marker.source_replica_id == self.replica_id:
+        if marker.source_replica_id is None:
+            # Periodic marker: every replica checkpoints locally, advancing
+            # its watermark; only completion is reported (state stays here).
             state = self.service.checkpoint()
             self.last_checkpoint = (sequence, state)
+            self.checkpoint_watermark = sequence
+            marker.deliver(self.replica_id, sequence, None)
+        elif marker.source_replica_id == self.replica_id:
+            state = self.service.checkpoint()
+            self.last_checkpoint = (sequence, state)
+            self.checkpoint_watermark = sequence
             marker.deliver(self.replica_id, sequence, state)
         self.barrier.complete(marker.uid)
 
@@ -246,6 +308,48 @@ class ThreadedClient:
         return response
 
 
+class _CheckpointScheduler(threading.Thread):
+    """Background driver of a cluster's :class:`CheckpointPolicy`.
+
+    Polls the multicast message counter and the wall clock; when either
+    policy trigger is due it runs one periodic checkpoint (every live
+    replica snapshots locally at a marker cut) followed by watermark-driven
+    log truncation.  A crash racing the marker aborts that round only — the
+    next poll retries.
+    """
+
+    def __init__(self, cluster, policy, poll_interval=0.005):
+        super().__init__(name="psmr-checkpoint-scheduler", daemon=True)
+        self.cluster = cluster
+        self.policy = policy
+        self.poll_interval = poll_interval
+        # NB: not ``_stop`` — that would shadow threading.Thread internals.
+        self._stop_event = threading.Event()
+        self._last_messages = cluster.multicast.messages_multicast
+        self._last_time = time.monotonic()
+
+    def run(self):
+        while not self._stop_event.wait(self.poll_interval):
+            messages = self.cluster.multicast.messages_multicast
+            elapsed = time.monotonic() - self._last_time
+            if not self.policy.due(messages - self._last_messages, elapsed):
+                continue
+            try:
+                self.cluster.periodic_checkpoint()
+            except (RecoveryError, TimeoutError):
+                # A crash or slow barrier aborted this round.  Leave the
+                # trigger counters untouched so the policy stays due and
+                # the next poll retries, instead of waiting a full period.
+                continue
+            self._last_messages = self.cluster.multicast.messages_multicast
+            self._last_time = time.monotonic()
+
+    def stop(self, join_timeout=5.0):
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(join_timeout)
+
+
 class ThreadedPSMRCluster:
     """A complete in-process P-SMR deployment over real threads.
 
@@ -253,13 +357,16 @@ class ThreadedPSMRCluster:
     ``KeyValueStoreServer``); ``spec`` provides the command signatures and
     routing from which the C-G function is compiled.  ``log_retention``
     bounds the multicast replay log (``None`` retains everything, which is
-    what tests use; production deployments pair a finite retention with
-    periodic :meth:`checkpoint` calls).
+    what tests use).  ``checkpoint_policy`` — a
+    :class:`~repro.common.checkpoint.CheckpointPolicy` — enables periodic
+    background checkpoints plus watermark-driven log truncation, which is
+    how production deployments keep the replay log bounded.
     """
 
     def __init__(self, spec, service_factory, mpl=4, num_replicas=2,
                  coarse_cg=False, barrier_timeout=10.0, seed=0,
-                 log_retention=None):
+                 log_retention=None, checkpoint_policy=None,
+                 checkpoint_poll_interval=0.005):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         self.spec = spec
@@ -269,6 +376,17 @@ class ThreadedPSMRCluster:
         self.barrier_timeout = barrier_timeout
         self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
         self.multicast = LocalAtomicMulticast(mpl, retention=log_retention)
+        self.checkpoint_policy = checkpoint_policy
+        self.checkpoint_poll_interval = checkpoint_poll_interval
+        self.checkpoints_taken = 0
+        self.truncations = 0
+        self._scheduler = None
+        self._pending_markers = set()
+        #: Serialises log truncation against replica (re-)registration, and
+        #: holds per-replica floors that pin truncation below an in-flight
+        #: recovery's transfer point.
+        self._recovery_lock = threading.Lock()
+        self._truncation_floors = {}
         self.replicas = []
         for replica_id in range(num_replicas):
             queues = self.multicast.register_replica(
@@ -293,9 +411,17 @@ class ThreadedPSMRCluster:
             if not replica.crashed:
                 replica.start()
         self._started = True
+        if self.checkpoint_policy is not None:
+            self._scheduler = _CheckpointScheduler(
+                self, self.checkpoint_policy, self.checkpoint_poll_interval
+            )
+            self._scheduler.start()
         return self
 
     def shutdown(self):
+        if self._scheduler is not None:
+            self._scheduler.stop()
+            self._scheduler = None
         self.multicast.shutdown()
         for replica in self.replicas:
             replica.join()
@@ -319,6 +445,9 @@ class ThreadedPSMRCluster:
 
         Survivors are unaffected — barriers are per-replica, so in-flight
         synchronous-mode commands on live replicas keep making progress.
+        Checkpoint markers currently waiting on this replica are failed
+        immediately (with :class:`RecoveryError`) instead of hanging for
+        the full barrier timeout.
         """
         replica = self.replicas[replica_id]
         if replica.crashed:
@@ -328,10 +457,30 @@ class ThreadedPSMRCluster:
         replica.crashed = True
         queues = self.multicast.unregister_replica(replica_id)
         replica.barrier.crash()
+        with self._lock:
+            pending = list(self._pending_markers)
+        for marker in pending:
+            if marker.source_replica_id in (None, replica_id):
+                marker.fail(
+                    replica_id,
+                    RecoveryError(
+                        f"checkpoint source replica {replica_id} crashed "
+                        f"before delivering its checkpoint"
+                    ),
+                )
         for delivery_queue in queues.values():
             delivery_queue.put(None)
         replica.join()
         return replica
+
+    def crash_replicas(self, replica_ids):
+        """Fail-stop several replicas at once; returns the crashed replicas.
+
+        At least one replica must stay live.  The crashes are applied in
+        order and fail fast: an invalid id (already crashed, or crashing
+        would leave no live replica) raises before later ids are touched.
+        """
+        return [self.crash_replica(replica_id) for replica_id in replica_ids]
 
     def checkpoint(self, replica_id=None, timeout=None):
         """Checkpoint the cluster at one consistent cut.
@@ -339,33 +488,224 @@ class ThreadedPSMRCluster:
         Multicasts a :class:`CheckpointMarker` to every group and returns
         ``(sequence, state)`` from ``replica_id`` (default: the first live
         replica).  Every live replica synchronises at the same cut; only
-        the source materialises its state.
+        the source materialises its state.  Raises :class:`RecoveryError`
+        immediately if the source crashes after the marker is multicast but
+        before it delivers its checkpoint.
         """
         if replica_id is None:
             replica_id = self.live_replicas()[0].replica_id
         elif self.replicas[replica_id].crashed:
             raise RecoveryError(f"replica {replica_id} is crashed")
         marker = CheckpointMarker(source_replica_id=replica_id)
-        self.multicast.multicast(ALL_GROUPS, marker)
-        return marker.wait_for(replica_id, timeout or self.barrier_timeout)
+        with self._lock:
+            self._pending_markers.add(marker)
+        try:
+            # Re-check after publishing the marker: a crash_replica that ran
+            # between the validation above and the publish scanned an empty
+            # pending set, so one of the two sides must observe the other
+            # (crash_replica sets ``crashed`` before scanning).
+            if self.replicas[replica_id].crashed:
+                raise RecoveryError(f"replica {replica_id} is crashed")
+            self.multicast.multicast(ALL_GROUPS, marker)
+            wait_timeout = timeout if timeout is not None else self.barrier_timeout
+            return marker.wait_for(replica_id, wait_timeout)
+        finally:
+            with self._lock:
+                self._pending_markers.discard(marker)
+
+    # ------------------------------------------------------------------
+    # Periodic checkpoints and log truncation
+    # ------------------------------------------------------------------
+    def periodic_checkpoint(self, timeout=None):
+        """Take one local checkpoint on every live replica, then truncate.
+
+        Multicasts a periodic marker (``source_replica_id=None``): each
+        live replica snapshots its own service at the marker cut and
+        advances its installed-checkpoint watermark.  Once every live
+        replica has reported in, the multicast log is truncated up to the
+        minimum watermark (see :meth:`truncate_to_watermarks`).  Returns
+        the marker's sequence number, or ``None`` when no replica
+        checkpointed (e.g. everything crashed mid-marker).
+
+        Normally driven by the background scheduler, but safe to call
+        directly (tests and operators do).
+        """
+        marker = CheckpointMarker(source_replica_id=None)
+        with self._lock:
+            self._pending_markers.add(marker)
+        sequence = None
+        try:
+            live = self.live_replicas()
+            self.multicast.multicast(ALL_GROUPS, marker)
+            wait_timeout = timeout if timeout is not None else self.barrier_timeout
+            # One shared deadline across the replica waits: the bound is
+            # ``timeout`` total, not ``timeout`` per live replica.
+            deadline = time.monotonic() + wait_timeout
+            for replica in live:
+                try:
+                    sequence, _ = marker.wait_for(
+                        replica.replica_id, max(0.0, deadline - time.monotonic())
+                    )
+                except RecoveryError:
+                    continue  # crashed while the marker was in flight
+        finally:
+            with self._lock:
+                self._pending_markers.discard(marker)
+        if sequence is not None:
+            self.checkpoints_taken += 1
+            self.truncate_to_watermarks()
+        return sequence
+
+    def truncate_to_watermarks(self):
+        """Truncate the multicast log up to the minimum replayable watermark.
+
+        Live replicas always pin the log at their latest installed
+        checkpoint (they may crash later and want suffix replay).  Crashed
+        replicas pin it too while their replay lag stays within the
+        policy's ``max_replay_lag``; past that horizon they are marked
+        ``needs_full_transfer`` and stop holding the log back.  In-flight
+        recoveries pin the log at their transfer point via floors.
+        """
+        policy = self.checkpoint_policy
+        with self._recovery_lock:
+            latest = self.multicast.latest_sequence()
+            watermarks = list(self._truncation_floors.values())
+            for replica in self.replicas:
+                if replica.crashed:
+                    if replica.needs_full_transfer:
+                        continue
+                    lag = latest - replica.checkpoint_watermark
+                    past_horizon = policy is not None and not policy.replayable(lag)
+                    truncated_past = (
+                        replica.checkpoint_watermark + 1 < self.multicast.min_retained()
+                    )
+                    if past_horizon or truncated_past:
+                        replica.needs_full_transfer = True
+                        continue
+                watermarks.append(replica.checkpoint_watermark)
+            if not watermarks:
+                return
+            floor = min(watermarks)
+            if floor >= 0 and floor + 1 > self.multicast.min_retained():
+                self.multicast.truncate_log(floor)
+                self.truncations += 1
 
     def recover_replica(self, replica_id, source_replica_id=None):
-        """Bring a crashed replica back: checkpoint transfer + log replay.
+        """Bring a crashed replica back online.
 
-        A live peer is checkpointed at a fresh marker (sequence ``s``); a
-        new service instance restores that state; the replica's delivery
-        queues are registered atomically with the retained log suffix after
-        ``s``; the new workers then drain the suffix and go live.
+        Two paths:
+
+        * **Log-suffix replay** (default when possible): the replica
+          restores its *own* last local checkpoint (watermark ``w``) and
+          replays the retained log after ``w`` — no state transfer at all.
+        * **Full state transfer**: a live peer is checkpointed at a fresh
+          marker (sequence ``s``); a new service instance restores that
+          state and is registered with the log suffix after ``s``.  Used
+          when the replica is past its replayable horizon (the log was
+          truncated beyond its watermark) or when ``source_replica_id``
+          explicitly requests a peer transfer.
+
+        An explicit ``source_replica_id`` is validated up front: it must
+        be a live replica other than the one being recovered.
         """
         old = self.replicas[replica_id]
         if not old.crashed:
             raise RecoveryError(f"replica {replica_id} is not crashed")
-        sequence, state = self.checkpoint(replica_id=source_replica_id)
+        # An explicit source is validated up front by recover_replicas
+        # (it must be live and not the replica being recovered).
+        if source_replica_id is None and not old.needs_full_transfer:
+            replica = self._recover_via_replay(replica_id, old)
+            if replica is not None:
+                return replica
+        return self.recover_replicas([replica_id], source_replica_id)[0]
+
+    def recover_replicas(self, replica_ids, source_replica_id=None):
+        """Recover several crashed replicas from one shared checkpoint.
+
+        A single live peer is checkpointed once; every replica in
+        ``replica_ids`` restores that state and is registered with the log
+        suffix after the marker's sequence number.  This is how a cluster
+        heals from simultaneous multi-replica failures without paying one
+        checkpoint per victim.  Returns the recovered replicas in order.
+        """
+        replica_ids = list(replica_ids)
+        if not replica_ids:
+            return []
+        for replica_id in replica_ids:
+            if not self.replicas[replica_id].crashed:
+                raise RecoveryError(f"replica {replica_id} is not crashed")
+        if source_replica_id is not None:
+            if source_replica_id in replica_ids:
+                raise RecoveryError(
+                    f"source replica {source_replica_id} is being recovered"
+                )
+            if self.replicas[source_replica_id].crashed:
+                raise RecoveryError(
+                    f"source replica {source_replica_id} is crashed"
+                )
+        # Pin truncation below the transfer point for the whole recovery:
+        # a concurrent periodic checkpoint must not truncate past the fresh
+        # marker before the new replicas are registered.
+        with self._recovery_lock:
+            pin = self.multicast.latest_sequence()
+            for replica_id in replica_ids:
+                self._truncation_floors[replica_id] = pin
+        try:
+            sequence, state = self.checkpoint(replica_id=source_replica_id)
+            recovered = []
+            for replica_id in replica_ids:
+                service = self.service_factory()
+                service.restore(state)
+                with self._recovery_lock:
+                    queues = self.multicast.register_replica(
+                        replica_id, range(1, self.mpl + 1), after_sequence=sequence
+                    )
+                replica = self._install_replica(replica_id, service, queues)
+                replica.last_checkpoint = (sequence, state)
+                replica.checkpoint_watermark = sequence
+                recovered.append(replica)
+            return recovered
+        finally:
+            with self._recovery_lock:
+                for replica_id in replica_ids:
+                    self._truncation_floors.pop(replica_id, None)
+
+    def _recover_via_replay(self, replica_id, old):
+        """Try the cheap recovery path: own checkpoint + log-suffix replay.
+
+        Returns the recovered replica, or ``None`` when the replica has no
+        local checkpoint or the log no longer reaches back to its watermark
+        (the caller then falls back to a full state transfer).
+        """
+        if old.last_checkpoint is None:
+            # Never checkpointed locally: replaying would re-execute the
+            # whole retained history from a fresh service — O(history),
+            # not O(state).  A peer checkpoint transfer is the right cost.
+            return None
+        policy = self.checkpoint_policy
+        if policy is not None and not policy.replayable(
+            self.multicast.latest_sequence() - old.checkpoint_watermark
+        ):
+            old.needs_full_transfer = True
+            return None
         service = self.service_factory()
-        service.restore(state)
-        queues = self.multicast.register_replica(
-            replica_id, range(1, self.mpl + 1), after_sequence=sequence
-        )
+        service.restore(old.last_checkpoint[1])
+        with self._recovery_lock:
+            try:
+                queues = self.multicast.register_replica(
+                    replica_id,
+                    range(1, self.mpl + 1),
+                    after_sequence=old.checkpoint_watermark,
+                )
+            except RecoveryError:
+                old.needs_full_transfer = True
+                return None
+        replica = self._install_replica(replica_id, service, queues)
+        replica.last_checkpoint = old.last_checkpoint
+        replica.checkpoint_watermark = old.checkpoint_watermark
+        return replica
+
+    def _install_replica(self, replica_id, service, queues):
         replica = _Replica(self, replica_id, service, queues)
         self.replicas[replica_id] = replica
         if self._started:
@@ -417,11 +757,9 @@ class ThreadedPSMRCluster:
         queues are empty and per-replica execution counters are equal and
         stable across two consecutive polls.
         """
-        import time as _time
-
-        deadline = _time.monotonic() + timeout
+        deadline = time.monotonic() + timeout
         previous = None
-        while _time.monotonic() < deadline:
+        while time.monotonic() < deadline:
             queues_empty = self.multicast.is_drained()
             counters = tuple(
                 getattr(replica.service, "commands_executed", 0)
@@ -430,7 +768,7 @@ class ThreadedPSMRCluster:
             if queues_empty and len(set(counters)) == 1 and counters == previous:
                 return True
             previous = counters if queues_empty else None
-            _time.sleep(poll)
+            time.sleep(poll)
         raise TimeoutError("cluster did not quiesce within the timeout")
 
     def replica_snapshots(self, quiesce=True):

@@ -42,6 +42,7 @@ class LocalAtomicMulticast:
         self._log = []
         self._retention = retention
         self._min_retained = 0
+        self._latest_sequence = -1
         self.messages_multicast = 0
 
     # ------------------------------------------------------------------
@@ -69,13 +70,21 @@ class LocalAtomicMulticast:
                     f"replay after sequence {after_sequence}"
                 )
             queues = {}
-            for thread_index in thread_indices:
-                delivery_queue = self._register_locked(replica_id, thread_index)
-                if after_sequence is not None:
-                    for sequence, destinations, threads, payload in self._log:
-                        if sequence > after_sequence and thread_index in threads:
-                            delivery_queue.put((sequence, destinations, payload))
-                queues[thread_index] = delivery_queue
+            try:
+                for thread_index in thread_indices:
+                    delivery_queue = self._register_locked(replica_id, thread_index)
+                    if after_sequence is not None:
+                        for sequence, destinations, threads, payload in self._log:
+                            if sequence > after_sequence and thread_index in threads:
+                                delivery_queue.put((sequence, destinations, payload))
+                    queues[thread_index] = delivery_queue
+            except Exception:
+                # Roll back the threads registered so far: a failure halfway
+                # through (e.g. one duplicate thread index) must not leave
+                # the earlier threads of the same call registered forever.
+                for thread_index in queues:
+                    self._queues.pop((replica_id, thread_index), None)
+                raise
             return queues
 
     def _register_locked(self, replica_id, thread_index):
@@ -107,6 +116,7 @@ class LocalAtomicMulticast:
             threads = frozenset(self.layout.delivering_threads(destinations))
         with self._lock:
             sequence = next(self._sequence)
+            self._latest_sequence = sequence
             self.messages_multicast += 1
             self._log.append((sequence, destinations, threads, payload))
             if self._retention is not None and len(self._log) > self._retention:
@@ -150,6 +160,16 @@ class LocalAtomicMulticast:
         """Number of messages currently retained for replay."""
         with self._lock:
             return len(self._log)
+
+    def latest_sequence(self):
+        """Sequence number of the most recently ordered message (-1 if none)."""
+        with self._lock:
+            return self._latest_sequence
+
+    def min_retained(self):
+        """Smallest sequence number still replayable from the retained log."""
+        with self._lock:
+            return self._min_retained
 
     # ------------------------------------------------------------------
     # Drain inspection (public API: no reaching into ``_queues``)

@@ -14,6 +14,7 @@ k depends on other updates on k, on reads on k, and on inserts and deletes.*
 """
 
 from repro.btree import BPlusTree
+from repro.common.checkpoint import estimate_checkpoint_size
 from repro.common.errors import KeyAlreadyExistsError, KeyNotFoundError, ServiceError
 from repro.core.cdep import CDep
 from repro.core.command import Response
@@ -145,6 +146,10 @@ class KeyValueStoreServer:
         self._tree.restore(state["tree"])
         self.commands_executed = state["commands_executed"]
         return self
+
+    def checkpoint_size_bytes(self):
+        """Wire size of a checkpoint of the current state (transfer accounting)."""
+        return estimate_checkpoint_size(self.checkpoint())
 
     # ------------------------------------------------------------------
     # State inspection (used to compare replicas in tests)

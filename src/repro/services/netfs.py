@@ -18,6 +18,7 @@ expressed with a :class:`Keyed` declaration whose conflict key is the path
 number of ranges is wanted.
 """
 
+from repro.common.checkpoint import estimate_checkpoint_size
 from repro.common.errors import FileSystemError, ServiceError
 from repro.core.cdep import CDep
 from repro.core.command import Response
@@ -177,6 +178,10 @@ class NetFSServer:
         self.fs.restore(state["fs"])
         self.commands_executed = state["commands_executed"]
         return self
+
+    def checkpoint_size_bytes(self):
+        """Wire size of a checkpoint of the current state (transfer accounting)."""
+        return estimate_checkpoint_size(self.checkpoint())
 
     # ------------------------------------------------------------------
     # State inspection

@@ -342,6 +342,103 @@ def test_recovery_experiment_produces_dip_and_catchup_table():
 
 
 # ----------------------------------------------------------------------
+# Checkpoint/recovery bugfix regressions (threaded runtime)
+# ----------------------------------------------------------------------
+def test_checkpoint_honours_explicit_zero_timeout():
+    """Regression: ``timeout=0`` used to fall through ``timeout or default``
+    into the full barrier timeout (20 s here) instead of timing out at once."""
+    cluster = kv_cluster(replicas=2)  # never started: no marker ever executes
+    started = time.monotonic()
+    with pytest.raises(TimeoutError):
+        cluster.checkpoint(timeout=0)
+    with pytest.raises(TimeoutError):
+        cluster.checkpoint(timeout=0.05)
+    assert time.monotonic() - started < 5.0
+
+
+class _GatedKVServer(KeyValueStoreServer):
+    """A replica service that parks its worker inside ``apply`` on one key."""
+
+    GATE_KEY = 3
+
+    def __init__(self, gate, **kwargs):
+        super().__init__(**kwargs)
+        self._gate = gate
+
+    def apply(self, command):
+        if command.name == "update" and command.args.get("key") == self.GATE_KEY:
+            self._gate.wait(10)
+        return super().apply(command)
+
+
+def test_checkpoint_source_crashing_mid_marker_raises_recovery_error():
+    """Regression: a source that crashes after the marker is multicast but
+    before delivering its checkpoint used to hang the caller for the whole
+    barrier timeout and then raise a bare TimeoutError."""
+    gate = threading.Event()
+    built = []
+
+    def factory():
+        index = len(built)
+        built.append(index)
+        if index == 1:  # replica 1 is the gated one
+            return _GatedKVServer(gate, initial_keys=8)
+        return KeyValueStoreServer(initial_keys=8)
+
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC, service_factory=factory, mpl=2, num_replicas=2,
+        barrier_timeout=30.0,
+    )
+    with cluster:
+        client = cluster.client()
+        # Replica 0 executes and responds; replica 1's worker parks in apply,
+        # so the marker multicast next can never be delivered by replica 1.
+        client.invoke("update", key=_GatedKVServer.GATE_KEY, value=b"block")
+        outcome = {}
+
+        def checkpoint_crashed_source():
+            try:
+                cluster.checkpoint(replica_id=1, timeout=30)
+            except Exception as exc:  # noqa: BLE001 - the exception IS the assertion
+                outcome["exc"] = exc
+
+        waiter = threading.Thread(target=checkpoint_crashed_source)
+        waiter.start()
+        time.sleep(0.2)
+        # Unblock the parked worker shortly after the crash so its thread
+        # can observe the crash flag and terminate.
+        threading.Timer(0.2, gate.set).start()
+        crashed_at = time.monotonic()
+        cluster.crash_replica(1)
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        # Prompt RecoveryError naming the crashed source, not a 30 s hang.
+        assert isinstance(outcome["exc"], RecoveryError)
+        assert "1" in str(outcome["exc"])
+        assert time.monotonic() - crashed_at < 10.0
+        cluster.recover_replica(1)
+
+
+def test_recover_replica_validates_explicit_source_up_front():
+    with kv_cluster(replicas=3) as cluster:
+        client = cluster.client()
+        client.invoke("insert", key=500, value=b"x")
+        cluster.crash_replica(1)
+        cluster.crash_replica(2)
+        started = time.monotonic()
+        with pytest.raises(RecoveryError):
+            cluster.recover_replica(1, source_replica_id=1)  # itself
+        with pytest.raises(RecoveryError):
+            cluster.recover_replica(1, source_replica_id=2)  # crashed source
+        with pytest.raises(RecoveryError):
+            cluster.recover_replicas([1, 2], source_replica_id=2)  # being recovered
+        assert time.monotonic() - started < 5.0  # no marker was ever multicast
+        cluster.recover_replicas([1, 2])
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+# ----------------------------------------------------------------------
 # Waiter bookkeeping regressions (threaded client plumbing)
 # ----------------------------------------------------------------------
 def test_invoke_timeout_does_not_leak_waiters():

@@ -1,0 +1,64 @@
+"""Unit tests for the shared checkpoint policy."""
+
+import pytest
+
+from repro.common.checkpoint import CheckpointPolicy, estimate_checkpoint_size
+from repro.common.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_needs_at_least_one_trigger(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy()
+
+    def test_rejects_non_positive_triggers(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, max_replay_lag=-1)
+
+    def test_repr_names_the_knobs(self):
+        policy = CheckpointPolicy(every_messages=5, every_seconds=1.0, max_replay_lag=9)
+        assert "every_messages=5" in repr(policy)
+        assert "max_replay_lag=9" in repr(policy)
+
+
+class TestDue:
+    def test_message_trigger(self):
+        policy = CheckpointPolicy(every_messages=10)
+        assert not policy.due(9, 1e9)  # no time trigger configured
+        assert policy.due(10, 0.0)
+
+    def test_time_trigger(self):
+        policy = CheckpointPolicy(every_seconds=0.5)
+        assert not policy.due(10_000, 0.49)
+        assert policy.due(0, 0.5)
+
+    def test_either_trigger_fires(self):
+        policy = CheckpointPolicy(every_messages=10, every_seconds=0.5)
+        assert policy.due(10, 0.0)
+        assert policy.due(0, 0.5)
+        assert not policy.due(9, 0.49)
+
+
+class TestReplayable:
+    def test_unbounded_horizon_pins_forever(self):
+        policy = CheckpointPolicy(every_messages=10)
+        assert policy.replayable(10**9)
+
+    def test_bounded_horizon(self):
+        policy = CheckpointPolicy(every_messages=10, max_replay_lag=100)
+        assert policy.replayable(100)
+        assert not policy.replayable(101)
+
+
+def test_estimate_checkpoint_size_importable_from_common():
+    # Shared by both runtimes; the historical import path in
+    # repro.replication.base must keep working too.
+    from repro.replication.base import estimate_checkpoint_size as legacy
+
+    assert legacy is estimate_checkpoint_size
+    assert estimate_checkpoint_size(None) == 4096
+    assert estimate_checkpoint_size({"a": b"xy"}) == 16 + (1 + 8) + (2 + 8)

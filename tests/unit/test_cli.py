@@ -12,6 +12,7 @@ def test_list_prints_every_experiment():
     assert cli.main(["list"], stream=stream) == 0
     names = stream.getvalue().split()
     assert "fig3" in names and "table1" in names and "ablation-merge" in names
+    assert "recovery" in names and "checkpoint-scaling" in names
     assert set(names) == set(cli.EXPERIMENTS)
 
 

@@ -81,6 +81,22 @@ class TestRegistration:
         multicast, _queues = make_multicast(replicas=(0,))
         assert multicast.unregister_replica(7) == {}
 
+    def test_failed_registration_rolls_back_earlier_threads(self):
+        """A partial register_replica must not leak the threads it managed
+        to register before failing (regression)."""
+        multicast, _queues = make_multicast(mpl=2, replicas=(0,))
+        multicast.register_replica(5, [1])
+        # Thread 2 is fresh, thread 1 is a duplicate: the call must fail
+        # AND roll thread 2 back out.
+        with pytest.raises(ConfigurationError):
+            multicast.register_replica(5, [2, 1])
+        multicast.multicast([2], "to-thread-2")
+        assert multicast.pending_count(replica_id=5) == 0
+        # The rolled-back thread can be registered again afterwards.
+        queues = multicast.register_replica(5, [2])
+        multicast.multicast([2], "again")
+        assert queues[2].qsize() == 1
+
 
 class TestLogReplay:
     def test_log_suffix_filters_by_thread_and_sequence(self):
@@ -146,3 +162,32 @@ class TestRetention:
             "m2",
             "m3",
         ]
+
+    def test_replay_boundary_at_min_retained(self):
+        """``after_sequence == min_retained - 1`` is the last replayable
+        point; one sequence earlier must raise RecoveryError."""
+        multicast, _queues = make_multicast(replicas=(0,))
+        sequences = [multicast.multicast([1], f"m{i}") for i in range(6)]
+        multicast.truncate_log(sequences[2])
+        boundary = multicast.min_retained() - 1
+        assert boundary == sequences[2]
+        queues = multicast.register_replica(7, [1], after_sequence=boundary)
+        assert [p for _s, _d, p in drain(queues[1])] == ["m3", "m4", "m5"]
+        with pytest.raises(RecoveryError):
+            multicast.register_replica(8, [1], after_sequence=boundary - 1)
+        with pytest.raises(RecoveryError):
+            multicast.log_suffix(1, boundary - 1)
+
+    def test_latest_sequence_tracks_multicasts(self):
+        multicast, _queues = make_multicast(replicas=(0,))
+        assert multicast.latest_sequence() == -1
+        assert multicast.min_retained() == 0
+        last = None
+        for i in range(3):
+            last = multicast.multicast([1], f"m{i}")
+        assert multicast.latest_sequence() == last
+        multicast.truncate_log(last)
+        assert multicast.log_size() == 0
+        assert multicast.min_retained() == last + 1
+        # latest_sequence is unaffected by truncation.
+        assert multicast.latest_sequence() == last
