@@ -46,6 +46,12 @@ class BPlusTree:
         #: root change).  The simulator uses it to distinguish structural
         #: inserts/deletes from in-place ones when charging CPU time.
         self.structural_changes = 0
+        #: Keys written (inserted/updated) and keys removed since the last
+        #: delta-tracking mark — the raw material of delta checkpoints.
+        #: Invariant: the two sets are disjoint; every dirty key is present
+        #: in the tree and every deleted key is absent.
+        self._dirty_keys = set()
+        self._deleted_keys = set()
 
     def __len__(self):
         return self._size
@@ -129,6 +135,7 @@ class BPlusTree:
         index = bisect.bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:
             leaf.values[index] = value
+            self._dirty_keys.add(key)
             return
         raise KeyNotFoundError(key)
 
@@ -152,6 +159,8 @@ class BPlusTree:
         leaf.keys.insert(index, key)
         leaf.values.insert(index, value)
         self._size += 1
+        self._dirty_keys.add(key)
+        self._deleted_keys.discard(key)
         if len(leaf.keys) > self.order - 1:
             self._split(leaf, path)
 
@@ -201,6 +210,8 @@ class BPlusTree:
         leaf.keys.pop(index)
         leaf.values.pop(index)
         self._size -= 1
+        self._dirty_keys.discard(key)
+        self._deleted_keys.add(key)
         self._rebalance(leaf, path)
 
     def _min_entries(self):
@@ -312,7 +323,54 @@ class BPlusTree:
         self.structural_changes = 0
         self._size = len(items)
         self._root = self._bulk_load(items)
+        self.clear_delta_tracking()
         return self
+
+    # ------------------------------------------------------------------
+    # Delta checkpointing
+    # ------------------------------------------------------------------
+    def delta(self, reset=True):
+        """Return the changes since the last delta-tracking mark.
+
+        The delta is ``{"order", "changes", "deletions"}``: ``changes`` are
+        the current ``(key, value)`` pairs of every key written since the
+        mark, ``deletions`` the keys removed.  Applying the delta (with
+        :meth:`apply_delta`) to any tree whose contents match the state at
+        the mark reproduces this tree's contents exactly.  With ``reset``
+        the mark moves to now — the normal checkpoint-chain behaviour; pass
+        ``reset=False`` to peek without disturbing the chain.
+        """
+        changes = [(key, self.search(key)) for key in sorted(self._dirty_keys)]
+        delta = {
+            "order": self.order,
+            "changes": changes,
+            "deletions": sorted(self._deleted_keys),
+        }
+        if reset:
+            self.clear_delta_tracking()
+        return delta
+
+    def apply_delta(self, delta):
+        """Apply a :meth:`delta` onto this tree (a restored checkpoint base).
+
+        Installs the delta's cut: deletions of keys this tree never saw are
+        ignored (the key was created and destroyed inside one interval), and
+        delta tracking restarts at the applied cut.
+        """
+        for key in delta["deletions"]:
+            try:
+                self.delete(key)
+            except KeyNotFoundError:
+                pass
+        for key, value in delta["changes"]:
+            self.upsert(key, value)
+        self.clear_delta_tracking()
+        return self
+
+    def clear_delta_tracking(self):
+        """Move the delta-tracking mark to the current state."""
+        self._dirty_keys = set()
+        self._deleted_keys = set()
 
     def _bulk_load(self, items):
         """Build a valid tree bottom-up from sorted ``(key, value)`` pairs."""

@@ -20,6 +20,7 @@ from repro.harness.experiments import (
     run_ablation_cg_granularity,
     run_ablation_merge_policy,
     run_checkpoint_scaling,
+    run_delta_checkpoint,
     run_fig3_independent,
     run_fig4_dependent,
     run_fig5_scalability,
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "fig8": (run_fig8_netfs, True),
     "recovery": (run_recovery, True),
     "checkpoint-scaling": (run_checkpoint_scaling, True),
+    "delta-checkpoint": (run_delta_checkpoint, True),
     "ablation-merge": (run_ablation_merge_policy, True),
     "ablation-cg": (run_ablation_cg_granularity, True),
     "ablation-batch": (run_ablation_batch_size, True),

@@ -14,9 +14,71 @@ implement the same policy:
   its replay lag stays within ``max_replay_lag`` messages — past that
   horizon the replica is marked as requiring a full state transfer and the
   log is truncated without it.
+
+Checkpoints come in two kinds.  A **full** checkpoint serialises the whole
+service state; a **delta** checkpoint serialises only the keys/inodes dirtied
+since the previous checkpoint, chained off the last full base.  The
+``full_every`` knob controls the cadence: every ``full_every``-th periodic
+checkpoint is full and the ones between are deltas, so a chain holds at most
+``full_every - 1`` deltas before the next full snapshot resets it.  Restore
+applies base + delta chain in order; recovery transfers only the chain
+suffix the joiner is missing.
+
+A :class:`CompressionModel` (ratio + cpu-seconds per byte) makes checkpoint
+compression a first-class cost: the simulated runtime charges
+serialise + compress + transfer time from it, and the harness reports the
+resulting wire bytes.
 """
 
 from repro.common.errors import ConfigurationError
+
+
+class CompressionModel:
+    """Cost model for compressing a checkpoint before it hits the wire.
+
+    ``ratio``
+        Compressed size as a fraction of the raw serialised size
+        (``1.0`` = incompressible / compression disabled).
+    ``cpu_seconds_per_byte``
+        CPU time charged per *raw* byte pushed through the compressor.
+        Modern fast compressors sit around a fraction of a nanosecond per
+        byte; tighter codecs trade more CPU for a smaller ratio.
+    """
+
+    def __init__(self, name="none", ratio=1.0, cpu_seconds_per_byte=0.0):
+        if not 0.0 < ratio <= 1.0:
+            raise ConfigurationError("compression ratio must be in (0, 1]")
+        if cpu_seconds_per_byte < 0.0:
+            raise ConfigurationError("cpu_seconds_per_byte must be >= 0")
+        self.name = name
+        self.ratio = ratio
+        self.cpu_seconds_per_byte = cpu_seconds_per_byte
+
+    def wire_size(self, raw_bytes):
+        """Bytes actually transferred for a ``raw_bytes``-sized checkpoint."""
+        if raw_bytes <= 0:
+            return 0
+        return max(1, int(raw_bytes * self.ratio))
+
+    def cpu_seconds(self, raw_bytes):
+        """CPU seconds charged to compress ``raw_bytes`` of checkpoint."""
+        return max(0, raw_bytes) * self.cpu_seconds_per_byte
+
+    def __repr__(self):
+        return (
+            f"CompressionModel(name={self.name!r}, ratio={self.ratio}, "
+            f"cpu_seconds_per_byte={self.cpu_seconds_per_byte})"
+        )
+
+
+#: No compression: raw bytes on the wire, zero CPU.
+NO_COMPRESSION = CompressionModel("none", 1.0, 0.0)
+
+#: An LZ4-class codec: modest ratio, nearly free CPU.
+FAST_COMPRESSION = CompressionModel("fast", 0.55, 0.4e-9)
+
+#: A zstd-class codec: tighter ratio, noticeably more CPU per byte.
+TIGHT_COMPRESSION = CompressionModel("tight", 0.35, 2.0e-9)
 
 
 class CheckpointPolicy:
@@ -36,9 +98,19 @@ class CheckpointPolicy:
         checkpoint.  Beyond the horizon it stops pinning the log and must
         recover via full state transfer from a live peer.  ``None`` pins
         the log indefinitely.
+    ``full_every``
+        Delta-chain cadence: every ``full_every``-th periodic checkpoint is
+        a full snapshot and the ones between are deltas, so at most
+        ``full_every - 1`` deltas chain off one base.  ``1`` (the default)
+        disables deltas — every checkpoint is full.  ``None`` is treated as
+        ``1``.
+    ``compression``
+        A :class:`CompressionModel` applied to every checkpoint before
+        transfer accounting; ``None`` means :data:`NO_COMPRESSION`.
     """
 
-    def __init__(self, every_messages=None, every_seconds=None, max_replay_lag=None):
+    def __init__(self, every_messages=None, every_seconds=None, max_replay_lag=None,
+                 full_every=1, compression=None):
         if every_messages is None and every_seconds is None:
             raise ConfigurationError(
                 "checkpoint policy needs a message and/or a time trigger"
@@ -49,9 +121,21 @@ class CheckpointPolicy:
             raise ConfigurationError("every_seconds must be > 0 (or None)")
         if max_replay_lag is not None and max_replay_lag < 0:
             raise ConfigurationError("max_replay_lag must be >= 0 (or None)")
+        if full_every is None:
+            full_every = 1
+        if not isinstance(full_every, int) or isinstance(full_every, bool):
+            raise ConfigurationError("full_every must be an int >= 1 (or None)")
+        if full_every < 1:
+            raise ConfigurationError("full_every must be an int >= 1 (or None)")
+        if compression is None:
+            compression = NO_COMPRESSION
+        if not isinstance(compression, CompressionModel):
+            raise ConfigurationError("compression must be a CompressionModel")
         self.every_messages = every_messages
         self.every_seconds = every_seconds
         self.max_replay_lag = max_replay_lag
+        self.full_every = full_every
+        self.compression = compression
 
     def due(self, messages_since, seconds_since):
         """True when either trigger has elapsed since the last checkpoint."""
@@ -65,21 +149,59 @@ class CheckpointPolicy:
         """True when a crashed replica ``lag`` messages behind may still replay."""
         return self.max_replay_lag is None or lag <= self.max_replay_lag
 
+    def take_full(self, deltas_since_full):
+        """True when the next periodic checkpoint must be a full snapshot.
+
+        ``deltas_since_full`` is the number of deltas currently chained off
+        the replica's last full base (0 right after a full).  With
+        ``full_every=1`` every checkpoint is full; with ``full_every=N`` the
+        chain accepts up to ``N - 1`` deltas before the next full.
+        """
+        return self.full_every <= 1 or deltas_since_full >= self.full_every - 1
+
     def __repr__(self):
         return (
             f"CheckpointPolicy(every_messages={self.every_messages}, "
             f"every_seconds={self.every_seconds}, "
-            f"max_replay_lag={self.max_replay_lag})"
+            f"max_replay_lag={self.max_replay_lag}, "
+            f"full_every={self.full_every}, "
+            f"compression={self.compression.name!r})"
         )
+
+
+def restore_chain(service, chain):
+    """Restore ``service`` from a checkpoint chain: one full base plus deltas.
+
+    ``chain`` is a sequence of entries shaped ``{"kind": "full"|"delta",
+    "payload": ...}`` (extra keys — sequence numbers, sizes — are ignored).
+    The first entry must be a full checkpoint; every later entry must be a
+    delta, applied in order.  Returns the service.
+    """
+    if not chain:
+        raise ConfigurationError("checkpoint chain is empty")
+    first, *rest = chain
+    if first["kind"] != "full":
+        raise ConfigurationError("checkpoint chain must start with a full base")
+    service.restore(first["payload"])
+    for entry in rest:
+        if entry["kind"] != "delta":
+            raise ConfigurationError("checkpoint chain may hold one full base only")
+        service.apply_delta(entry["payload"])
+    return service
 
 
 def estimate_checkpoint_size(state, default=4096):
     """Estimate the wire size of a checkpoint, for transfer-time accounting.
 
     Walks the plain containers produced by the services' ``checkpoint()``
-    methods; unknown leaf types are charged a flat 8 bytes.  When there is no
-    materialised state (``execute_state=False`` deployments), ``default``
-    models the paper's small-application checkpoint.
+    and ``delta_checkpoint()`` methods.  Strings and byte strings are
+    charged their length plus a header; dicts, lists, tuples, sets and
+    frozensets are charged a container header plus their contents; integers
+    are charged their byte width (at least 8, so small ints and floats cost
+    the same as before); unknown leaf types are charged a flat 8 bytes.
+    When there is no materialised state (``execute_state=False``
+    deployments), ``default`` models the paper's small-application
+    checkpoint.
     """
     if state is None:
         return default
@@ -89,8 +211,10 @@ def estimate_checkpoint_size(state, default=4096):
             return len(value) + 8
         if isinstance(value, dict):
             return 16 + sum(walk(k) + walk(v) for k, v in value.items())
-        if isinstance(value, (list, tuple)):
+        if isinstance(value, (list, tuple, set, frozenset)):
             return 16 + sum(walk(item) for item in value)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return max(8, (value.bit_length() + 7) // 8)
         return 8
 
     return walk(state)

@@ -31,6 +31,13 @@ class _Inode:
     mtime: float = 0.0
     data: bytearray = field(default_factory=bytearray)
     entries: dict = field(default_factory=dict)
+    #: Stable inode number: allocated once, never reused, preserved across
+    #: checkpoint/restore so delta checkpoints can name inodes.
+    ino: int = 0
+    #: Open-descriptor count and link status, used to decide when an inode
+    #: is dead (unreachable from the root *and* from the fd table).
+    nopen: int = 0
+    linked: bool = True
 
 
 def split_path(path):
@@ -54,9 +61,55 @@ class MemoryFileSystem:
     """
 
     def __init__(self):
-        self._root = _Inode(is_dir=True, mode=0o755)
+        self._root = _Inode(is_dir=True, mode=0o755, ino=0)
+        self._next_ino = 1
+        #: Registry of every live inode (reachable from the root or held
+        #: open), keyed by inode number — the basis of delta checkpoints.
+        self._inodes = {0: self._root}
         self._fd_table = {}
         self._next_fd = 3  # 0-2 reserved, as on POSIX systems
+        #: Delta-tracking tiers since the last mark: inodes whose content
+        #: or entries changed (serialised in full), inodes only *touched*
+        #: (atime/mtime — serialised as a small attr-only record, so reads
+        #: do not drag file contents into deltas), and inodes that died.
+        self._dirty_inos = set()
+        self._attr_inos = set()
+        self._dead_inos = set()
+
+    # ------------------------------------------------------------------
+    # Inode bookkeeping (delta-checkpoint support)
+    # ------------------------------------------------------------------
+    def _new_inode(self, is_dir, mode, now):
+        inode = _Inode(
+            is_dir=is_dir, mode=mode, atime=now, mtime=now, ino=self._next_ino
+        )
+        self._next_ino += 1
+        self._inodes[inode.ino] = inode
+        self._dirty_inos.add(inode.ino)
+        return inode
+
+    def _mark_dirty(self, inode):
+        """Content tier: data or entries changed (promotes an attr-only mark)."""
+        self._dirty_inos.add(inode.ino)
+        self._attr_inos.discard(inode.ino)
+
+    def _mark_attr_dirty(self, inode):
+        """Attr tier: only timestamps changed (reads, opens, utimens)."""
+        if inode.ino not in self._dirty_inos:
+            self._attr_inos.add(inode.ino)
+
+    def _unlink_inode(self, inode):
+        inode.linked = False
+        self._maybe_dead(inode)
+
+    def _maybe_dead(self, inode):
+        """Drop an inode that is neither linked nor open from the registry."""
+        if inode.linked or inode.nopen > 0 or inode is self._root:
+            return
+        self._inodes.pop(inode.ino, None)
+        self._dirty_inos.discard(inode.ino)
+        self._attr_inos.discard(inode.ino)
+        self._dead_inos.add(inode.ino)
 
     # ------------------------------------------------------------------
     # Path resolution helpers
@@ -102,9 +155,10 @@ class MemoryFileSystem:
         parent, name = self._lookup_parent(path)
         if name in parent.entries:
             raise FileSystemError("EEXIST", f"file exists: {path}")
-        inode = _Inode(is_dir=False, mode=mode, atime=now, mtime=now)
+        inode = self._new_inode(is_dir=False, mode=mode, now=now)
         parent.entries[name] = inode
         parent.mtime = now
+        self._mark_dirty(parent)
         return self._allocate_fd(inode)
 
     def mknod(self, path, mode=0o644, now=0.0):
@@ -112,8 +166,9 @@ class MemoryFileSystem:
         parent, name = self._lookup_parent(path)
         if name in parent.entries:
             raise FileSystemError("EEXIST", f"file exists: {path}")
-        parent.entries[name] = _Inode(is_dir=False, mode=mode, atime=now, mtime=now)
+        parent.entries[name] = self._new_inode(is_dir=False, mode=mode, now=now)
         parent.mtime = now
+        self._mark_dirty(parent)
         return 0
 
     def mkdir(self, path, mode=0o755, now=0.0):
@@ -121,8 +176,9 @@ class MemoryFileSystem:
         parent, name = self._lookup_parent(path)
         if name in parent.entries:
             raise FileSystemError("EEXIST", f"file exists: {path}")
-        parent.entries[name] = _Inode(is_dir=True, mode=mode, atime=now, mtime=now)
+        parent.entries[name] = self._new_inode(is_dir=True, mode=mode, now=now)
         parent.mtime = now
+        self._mark_dirty(parent)
         return 0
 
     def unlink(self, path, now=0.0):
@@ -135,6 +191,8 @@ class MemoryFileSystem:
             raise FileSystemError("EISDIR", f"is a directory: {path}")
         del parent.entries[name]
         parent.mtime = now
+        self._mark_dirty(parent)
+        self._unlink_inode(inode)
         return 0
 
     def rmdir(self, path, now=0.0):
@@ -149,6 +207,8 @@ class MemoryFileSystem:
             raise FileSystemError("ENOTEMPTY", f"directory not empty: {path}")
         del parent.entries[name]
         parent.mtime = now
+        self._mark_dirty(parent)
+        self._unlink_inode(inode)
         return 0
 
     def utimens(self, path, atime, mtime):
@@ -156,6 +216,7 @@ class MemoryFileSystem:
         inode = self._lookup(path)
         inode.atime = atime
         inode.mtime = mtime
+        self._mark_attr_dirty(inode)
         return 0
 
     # ------------------------------------------------------------------
@@ -165,6 +226,7 @@ class MemoryFileSystem:
         fd = self._next_fd
         self._next_fd += 1
         self._fd_table[fd] = inode
+        inode.nopen += 1
         return fd
 
     def open(self, path, now=0.0):
@@ -173,6 +235,7 @@ class MemoryFileSystem:
         if inode.is_dir:
             raise FileSystemError("EISDIR", f"is a directory: {path}")
         inode.atime = now
+        self._mark_attr_dirty(inode)
         return self._allocate_fd(inode)
 
     def opendir(self, path, now=0.0):
@@ -181,13 +244,17 @@ class MemoryFileSystem:
         if not inode.is_dir:
             raise FileSystemError("ENOTDIR", f"not a directory: {path}")
         inode.atime = now
+        self._mark_attr_dirty(inode)
         return self._allocate_fd(inode)
 
     def release(self, fd):
         """Close a file descriptor."""
-        if fd not in self._fd_table:
+        inode = self._fd_table.get(fd)
+        if inode is None:
             raise FileSystemError("EBADF", f"bad file descriptor: {fd}")
         del self._fd_table[fd]
+        inode.nopen -= 1
+        self._maybe_dead(inode)
         return 0
 
     releasedir = release
@@ -213,6 +280,7 @@ class MemoryFileSystem:
         if inode.is_dir:
             raise FileSystemError("EISDIR", "cannot read a directory")
         inode.atime = now
+        self._mark_attr_dirty(inode)  # atime is state, but reads ship no data
         return bytes(inode.data[offset:offset + size])
 
     def write(self, path=None, data=b"", offset=0, fd=None, now=0.0):
@@ -226,6 +294,7 @@ class MemoryFileSystem:
             inode.data.extend(b"\x00" * (offset - len(inode.data)))
         inode.data[offset:end] = data
         inode.mtime = now
+        self._mark_dirty(inode)
         return len(data)
 
     def truncate(self, path, length, now=0.0):
@@ -238,6 +307,7 @@ class MemoryFileSystem:
         else:
             inode.data.extend(b"\x00" * (length - len(inode.data)))
         inode.mtime = now
+        self._mark_dirty(inode)
         return 0
 
     # ------------------------------------------------------------------
@@ -272,6 +342,19 @@ class MemoryFileSystem:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
+    def _serialise_inode(self, inode):
+        """One flat checkpoint record; directory entries reference child inos."""
+        return {
+            "is_dir": inode.is_dir,
+            "mode": inode.mode,
+            "atime": inode.atime,
+            "mtime": inode.mtime,
+            "data": bytes(inode.data),
+            "entries": {
+                name: child.ino for name, child in sorted(inode.entries.items())
+            },
+        }
+
     def checkpoint(self):
         """Return a fully restorable serialisation of the file system.
 
@@ -279,61 +362,164 @@ class MemoryFileSystem:
         state machine needs to continue deterministically after a restore:
         modes and timestamps, the open-descriptor table (commands delivered
         after the checkpoint may release descriptors opened before it) and
-        the descriptor counter.  Inodes are serialised into a flat table so
-        open-but-unlinked files survive the round trip.
+        the descriptor and inode counters.  Inodes are serialised into a
+        flat table keyed by stable inode number, so open-but-unlinked files
+        survive the round trip and delta checkpoints taken later can name
+        inodes from this base.  Delta tracking is left untouched: taking a
+        checkpoint does not move the mark.
         """
-        records = []
-        index_of = {}
+        records = {}
 
         def serialise(inode):
-            memo_key = id(inode)
-            if memo_key in index_of:
-                return index_of[memo_key]
-            index = len(records)
-            index_of[memo_key] = index
-            records.append(None)  # reserve the slot; children recurse below
-            records[index] = {
-                "is_dir": inode.is_dir,
-                "mode": inode.mode,
-                "atime": inode.atime,
-                "mtime": inode.mtime,
-                "data": bytes(inode.data),
-                "entries": {
-                    name: serialise(child)
-                    for name, child in sorted(inode.entries.items())
-                },
-            }
-            return index
+            if inode.ino in records:
+                return inode.ino
+            records[inode.ino] = self._serialise_inode(inode)
+            for child in inode.entries.values():
+                serialise(child)
+            return inode.ino
 
-        root_index = serialise(self._root)
+        root_ino = serialise(self._root)
         fd_table = {fd: serialise(inode) for fd, inode in sorted(self._fd_table.items())}
         return {
             "records": records,
-            "root": root_index,
+            "root": root_ino,
             "fd_table": fd_table,
             "next_fd": self._next_fd,
+            "next_ino": self._next_ino,
         }
 
     def restore(self, state):
-        """Rebuild the file system in place from a :meth:`checkpoint` value."""
-        inodes = [
-            _Inode(
+        """Rebuild the file system in place from a :meth:`checkpoint` value.
+
+        Resets delta tracking: the restored state is a fresh base.
+        """
+        inodes = {
+            int(ino): _Inode(
                 is_dir=record["is_dir"],
                 mode=record["mode"],
                 atime=record["atime"],
                 mtime=record["mtime"],
                 data=bytearray(record["data"]),
+                ino=int(ino),
             )
-            for record in state["records"]
-        ]
-        for inode, record in zip(inodes, state["records"]):
-            inode.entries = {
-                name: inodes[index] for name, index in record["entries"].items()
+            for ino, record in state["records"].items()
+        }
+        for ino, record in state["records"].items():
+            inodes[int(ino)].entries = {
+                name: inodes[int(child)] for name, child in record["entries"].items()
             }
-        self._root = inodes[state["root"]]
-        self._fd_table = {int(fd): inodes[index] for fd, index in state["fd_table"].items()}
+        self._root = inodes[int(state["root"])]
+        self._fd_table = {int(fd): inodes[int(ino)] for fd, ino in state["fd_table"].items()}
         self._next_fd = state["next_fd"]
+        self._next_ino = state["next_ino"]
+        self._inodes = inodes
+        self._rebuild_liveness()
+        self.clear_delta_tracking()
         return self
+
+    def _rebuild_liveness(self):
+        """Recompute ``linked``/``nopen`` from the tree and the fd table."""
+        for inode in self._inodes.values():
+            inode.linked = False
+            inode.nopen = 0
+        stack = [self._root]
+        while stack:
+            inode = stack.pop()
+            if inode.linked:
+                continue
+            inode.linked = True
+            stack.extend(inode.entries.values())
+        for inode in self._fd_table.values():
+            inode.nopen += 1
+
+    # ------------------------------------------------------------------
+    # Delta checkpointing
+    # ------------------------------------------------------------------
+    def delta_checkpoint(self, reset=True):
+        """Serialise only the inodes dirtied since the last tracking mark.
+
+        The delta is ``{"changed", "removed", "fd_table", "next_fd",
+        "next_ino"}``: ``changed`` maps dirty inode numbers to records —
+        full ones for content changes (a dirty directory's record lists
+        all its entries, so entry removals are captured by the parent),
+        attr-only ones (no ``data``/``entries`` keys) for inodes that were
+        merely touched (atime/mtime), so a read-heavy interval does not
+        drag file contents into the delta.  ``removed`` lists inodes that
+        died (unlinked with no descriptor left).  The descriptor table is
+        small session state and travels whole in every delta.  Applying the
+        delta (with :meth:`apply_delta`) to a file system whose contents
+        match the state at the mark reproduces this one exactly.  With
+        ``reset`` the mark moves to now; ``reset=False`` peeks without
+        disturbing the chain.
+        """
+        changed = {
+            ino: self._serialise_inode(self._inodes[ino])
+            for ino in sorted(self._dirty_inos)
+        }
+        for ino in sorted(self._attr_inos):
+            inode = self._inodes[ino]
+            changed[ino] = {
+                "is_dir": inode.is_dir,
+                "mode": inode.mode,
+                "atime": inode.atime,
+                "mtime": inode.mtime,
+            }
+        delta = {
+            "changed": changed,
+            "removed": sorted(self._dead_inos),
+            "fd_table": {fd: inode.ino for fd, inode in sorted(self._fd_table.items())},
+            "next_fd": self._next_fd,
+            "next_ino": self._next_ino,
+        }
+        if reset:
+            self.clear_delta_tracking()
+        return delta
+
+    def apply_delta(self, delta):
+        """Apply a :meth:`delta_checkpoint` onto this file system.
+
+        The receiver must match the state at the delta's base mark (a
+        restored base, possibly advanced by the chain's earlier deltas).
+        Installs the delta's cut: tracking restarts afterwards.
+        """
+        for ino in delta["removed"]:
+            self._inodes.pop(int(ino), None)
+        for ino, record in delta["changed"].items():
+            ino = int(ino)
+            inode = self._inodes.get(ino)
+            if inode is None:
+                # Only full records create inodes: attr-only records always
+                # refer to inodes the chain's base already holds.
+                inode = _Inode(
+                    is_dir=record["is_dir"], mode=record["mode"], ino=ino
+                )
+                self._inodes[ino] = inode
+            inode.is_dir = record["is_dir"]
+            inode.mode = record["mode"]
+            inode.atime = record["atime"]
+            inode.mtime = record["mtime"]
+            if "data" in record:
+                inode.data = bytearray(record["data"])
+        for ino, record in delta["changed"].items():
+            if "entries" in record:
+                self._inodes[int(ino)].entries = {
+                    name: self._inodes[int(child)]
+                    for name, child in record["entries"].items()
+                }
+        self._fd_table = {
+            int(fd): self._inodes[int(ino)] for fd, ino in delta["fd_table"].items()
+        }
+        self._next_fd = delta["next_fd"]
+        self._next_ino = delta["next_ino"]
+        self._rebuild_liveness()
+        self.clear_delta_tracking()
+        return self
+
+    def clear_delta_tracking(self):
+        """Move the delta-tracking mark to the current state."""
+        self._dirty_inos = set()
+        self._attr_inos = set()
+        self._dead_inos = set()
 
     # ------------------------------------------------------------------
     # Whole-tree helpers used by tests

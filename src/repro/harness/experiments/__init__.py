@@ -12,6 +12,7 @@ from repro.harness.experiments.mixed import run_fig6_mixed
 from repro.harness.experiments.skew import run_fig7_skew
 from repro.harness.experiments.netfs import run_fig8_netfs
 from repro.harness.experiments.recovery import run_checkpoint_scaling, run_recovery
+from repro.harness.experiments.delta import run_delta_checkpoint
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -28,6 +29,7 @@ __all__ = [
     "run_fig8_netfs",
     "run_recovery",
     "run_checkpoint_scaling",
+    "run_delta_checkpoint",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

@@ -1,0 +1,191 @@
+"""Delta-checkpoint experiment: checkpoint bytes and recovery latency vs.
+delta-chain length.
+
+A P-SMR deployment runs a skewed-write key-value workload (zipfian updates
+over a large pre-populated store) under a periodic
+:class:`~repro.common.checkpoint.CheckpointPolicy`, sweeping the
+``full_every`` knob — the maximum delta-chain length before the next full
+snapshot.  Each sweep point runs twice:
+
+* a **steady** run (no faults) measures the checkpoint traffic the policy
+  generates: how many fulls and deltas were taken, the mean compressed
+  bytes per checkpoint, and client throughput (fulls are paid for at the
+  marker barrier, so cheaper checkpoints show up as throughput);
+* a **crash** run fails one replica mid-window and recovers it, measuring
+  catch-up time and the negotiated transfer — ``delta`` when the donor's
+  chain still extends the joiner's last installed cut (only the chain
+  suffix crosses the wire), ``full`` otherwise.
+
+On a skewed-write workload the dirty set per checkpoint interval is a small
+fraction of the state, so long delta chains cut steady-state checkpoint
+bytes by an order of magnitude while keeping the replay log just as
+bounded.
+"""
+
+from repro.common.checkpoint import (
+    CheckpointPolicy,
+    FAST_COMPRESSION,
+    NO_COMPRESSION,
+    TIGHT_COMPRESSION,
+)
+from repro.harness.runner import DEFAULT_WARMUP, build_kv_system
+from repro.harness.tables import format_table
+from repro.workload import skewed_update_mix
+
+#: Named compression models selectable from the CLI experiment.
+COMPRESSION_MODELS = {
+    "none": NO_COMPRESSION,
+    "fast": FAST_COMPRESSION,
+    "tight": TIGHT_COMPRESSION,
+}
+
+#: What the experiment is expected to show (used in the output and tests).
+EXPECTATIONS = {
+    "bytes": "delta chains cut steady-state checkpoint bytes >= 5x on the "
+             "skewed-write workload (full_every >= the largest sweep point)",
+    "recovery": "a joiner whose cut is still on the donor's chain recovers "
+                "via a delta (chain-suffix) transfer, not a full one",
+    "throughput": "cheaper checkpoints return serialisation time to clients",
+}
+
+
+def _build(full_every, *, mpl, initial_keys, checkpoint_every_seconds,
+           zipf_theta, compression, seed):
+    policy = CheckpointPolicy(
+        every_seconds=checkpoint_every_seconds,
+        full_every=full_every,
+        compression=compression,
+    )
+    return build_kv_system(
+        "P-SMR",
+        mpl,
+        mix=skewed_update_mix(),
+        execute_state=True,
+        initial_keys=initial_keys,
+        key_space=initial_keys,
+        distribution="zipfian",
+        zipf_theta=zipf_theta,
+        seed=seed,
+        checkpoint_policy=policy,
+    )
+
+
+def run_delta_checkpoint(
+    warmup=DEFAULT_WARMUP,
+    duration=0.08,
+    seed=1,
+    mpl=4,
+    full_every_values=(1, 2, 4, 8, 16),
+    initial_keys=32768,
+    checkpoint_every_seconds=0.003,
+    zipf_theta=0.99,
+    compression="fast",
+    crash_replica=1,
+    crash_at_fraction=0.4,
+    recover_at_fraction=0.6,
+):
+    """Sweep the delta-chain length; return per-point rows plus a summary."""
+    compression_model = COMPRESSION_MODELS.get(compression, compression)
+    rows = []
+    for full_every in full_every_values:
+        build = lambda: _build(  # noqa: E731
+            full_every,
+            mpl=mpl,
+            initial_keys=initial_keys,
+            checkpoint_every_seconds=checkpoint_every_seconds,
+            zipf_theta=zipf_theta,
+            compression=compression_model,
+            seed=seed,
+        )
+
+        steady = build()
+        steady_result = steady.run(warmup=warmup, duration=duration)
+        checkpoints = sum(steady.checkpoint_counts.values())
+        total_bytes = sum(steady.checkpoint_bytes.values())
+        deltas = steady.checkpoint_counts["delta"]
+        delta_bytes = steady.checkpoint_bytes["delta"]
+
+        faulty = build()
+        faulty.schedule_crash(crash_replica, warmup + crash_at_fraction * duration)
+        faulty.schedule_recovery(crash_replica, warmup + recover_at_fraction * duration)
+        faulty.run(warmup=warmup, duration=duration)
+        record = faulty.recoveries[0] if faulty.recoveries else None
+
+        rows.append(
+            {
+                "full_every": full_every,
+                "fulls": steady.checkpoint_counts["full"],
+                "deltas": deltas,
+                "ckpt_kb": round(total_bytes / max(1, checkpoints) / 1024.0, 1),
+                "delta_kb": round(delta_bytes / max(1, deltas) / 1024.0, 1)
+                if deltas
+                else None,
+                "reduction_x": None,  # filled against the full_every=1 baseline
+                "throughput_kcps": round(steady_result.throughput_kcps, 1),
+                "catch_up_ms": (
+                    round(record.duration() * 1000.0, 3)
+                    if record is not None and record.done
+                    else None
+                ),
+                "transfer": record.transfer_mode if record is not None else None,
+                "transfer_kb": (
+                    round(record.transfer_bytes / 1024.0, 1)
+                    if record is not None
+                    else None
+                ),
+            }
+        )
+
+    baseline = next(
+        (row["ckpt_kb"] for row in rows if row["full_every"] == 1), None
+    )
+    for row in rows:
+        if baseline and row["ckpt_kb"]:
+            row["reduction_x"] = round(baseline / row["ckpt_kb"], 1)
+
+    summary = {
+        "baseline_ckpt_kb": baseline,
+        "best_reduction_x": max(
+            (row["reduction_x"] for row in rows if row["reduction_x"]), default=None
+        ),
+        "delta_transfers": sum(1 for row in rows if row["transfer"] == "delta"),
+        "compression": getattr(compression_model, "name", str(compression)),
+    }
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=[
+                    "full_every",
+                    "fulls",
+                    "deltas",
+                    "ckpt_kb",
+                    "delta_kb",
+                    "reduction_x",
+                    "throughput_kcps",
+                    "catch_up_ms",
+                    "transfer",
+                    "transfer_kb",
+                ],
+                title=(
+                    f"Delta checkpoints - bytes & recovery vs. chain length "
+                    f"(mpl={mpl}, {initial_keys} keys, zipf {zipf_theta}, "
+                    f"checkpoint every {checkpoint_every_seconds * 1000:.0f} ms, "
+                    f"compression={summary['compression']})"
+                ),
+            ),
+            "",
+            format_table(
+                [{"metric": key, "value": value} for key, value in summary.items()],
+                columns=["metric", "value"],
+                title="Delta checkpoints - summary",
+            ),
+        ]
+    )
+    return {
+        "figure": "delta-checkpoint",
+        "rows": rows,
+        "summary": summary,
+        "expectations": EXPECTATIONS,
+        "text": text,
+    }

@@ -59,10 +59,14 @@ class CheckpointTicket:
     number of commands ordered before the marker was submitted).
     """
 
-    def __init__(self, env, append_count):
+    def __init__(self, env, append_count, ticket_id=None):
         self.started_at = env.now
         self.append_count = append_count
+        self.ticket_id = ticket_id
         self.installed = set()
+        #: ``replica_id -> (kind, raw_bytes, wire_bytes)`` of the checkpoint
+        #: each replica materialised at this cut (full or delta).
+        self.sizes = {}
         self.completed_at = None
 
     @property
@@ -102,6 +106,12 @@ class RecoveryRecord:
         self.started_at = env.now
         self.completed_at = None
         self.checkpoint_ready = Event(env)
+        #: Stamped by the publishing replica: ``"full"`` when the whole
+        #: state crossed the wire, ``"delta"`` when only the chain suffix
+        #: the joiner was missing did.  ``transfer_bytes`` is the
+        #: compressed byte count charged for the transfer.
+        self.transfer_mode = None
+        self.transfer_bytes = 0
         #: Set (synchronously) by the live executor that will publish the
         #: checkpoint, *before* it yields for the serialisation time — so a
         #: second live replica reaching the marker during that window does

@@ -15,6 +15,7 @@ Structure (paper sections IV and VI-A):
 
 import itertools
 
+from repro.common.checkpoint import NO_COMPRESSION
 from repro.common.errors import RecoveryError
 from repro.core.command import Command
 from repro.core.protocol import plan_execution
@@ -227,8 +228,15 @@ class PsmrWorker:
             # one of us may succeed the event.
             record.claimed = True
             checkpoint = self.state.checkpoint() if self.state is not None else None
-            size = estimate_checkpoint_size(checkpoint)
-            serialize = costs.delivery + size / costs.nic_bandwidth
+            # Negotiate full-vs-delta transfer: when this replica's
+            # checkpoint chain extends the joiner's last installed cut,
+            # only the chain suffix (plus the residual delta up to this
+            # marker) is charged to the wire; the state object itself is
+            # handed over either way (the cut is identical).
+            mode, raw, wire = self.system.negotiate_transfer(
+                record.replica_id, self.replica_id, self.state, checkpoint
+            )
+            serialize = self._checkpoint_serialize_cost(raw, wire)
             yield self.env.timeout(serialize)
             if self.health.crashed:
                 # Crashed mid-serialisation: release the claim so another
@@ -236,7 +244,9 @@ class PsmrWorker:
                 record.claimed = False
             else:
                 self.system.cpu.charge(self.cpu_name, serialize, self.env.now)
-                record.checkpoint_ready.succeed((checkpoint, size))
+                record.transfer_mode = mode
+                record.transfer_bytes = wire
+                record.checkpoint_ready.succeed((checkpoint, wire))
         # try_complete: a concurrent crash may have reset this barrier.
         self.barrier.try_complete(uid, self.env.now)
 
@@ -245,33 +255,64 @@ class PsmrWorker:
 
         Mirror of the threaded runtime's periodic ``CheckpointMarker``:
         synchronous mode on every replica, and each *live* replica's
-        executor pays the checkpoint serialisation cost (delivery plus
-        state size over NIC bandwidth) — which is what makes periodic
-        checkpointing's overhead visible in client throughput.  Once every
-        live replica has installed the checkpoint, the system truncates its
+        executor pays the checkpoint serialisation cost — delivery, plus
+        the policy's compression CPU over the raw bytes, plus compressed
+        bytes over NIC bandwidth — which is what makes periodic
+        checkpointing's overhead visible in client throughput.  The
+        policy's ``full_every`` decides whether this cut is a full snapshot
+        or a delta chained off the replica's last full.  Once every live
+        replica has installed the checkpoint, the system truncates its
         virtual replay log at zero simulated cost.
         """
         ticket = command.args["ticket"]
         uid = command.uid
-        costs = self.costs
         plan = plan_execution(ALL_GROUPS, self.index, self.mpl)
         if plan.mode == "assist":
             self.barrier.signal(uid, self.index)
+            if self.health.crashed:
+                # A crash reset may have cleared this barrier after the
+                # executor passed it: waiting on the fresh done event would
+                # hang this worker forever and block its inbox (so the
+                # recovery marker would never be reached).  The signal
+                # above still lets a waiting executor pass; commands after
+                # the marker are dropped while crashed anyway.
+                return
             yield self.barrier.done_event(uid)
             return
         # Executor (thread 1; with mpl == 1 the plan degenerates to parallel).
         ready = self.barrier.expect(uid, plan.peers)
         yield ready
         if not self.health.crashed:
-            checkpoint = self.state.checkpoint() if self.state is not None else None
-            size = estimate_checkpoint_size(checkpoint)
-            serialize = costs.delivery + size / costs.nic_bandwidth
+            kind = self.system.checkpoint_kind(self.replica_id, self.state)
+            if self.state is None:
+                payload = None
+            elif kind == "delta":
+                payload = self.state.delta_checkpoint()
+            else:
+                payload = self.state.checkpoint()
+                if hasattr(self.state, "reset_delta_tracking"):
+                    self.state.reset_delta_tracking()
+            raw = estimate_checkpoint_size(payload)
+            wire = self.system.checkpoint_compression().wire_size(raw)
+            serialize = self._checkpoint_serialize_cost(raw, wire)
             yield self.env.timeout(serialize)
             if not self.health.crashed:
                 self.system.cpu.charge(self.cpu_name, serialize, self.env.now)
-                self.system.checkpoint_installed(self.replica_id, ticket)
+                self.system.checkpoint_installed(
+                    self.replica_id, ticket, kind=kind, raw_bytes=raw, wire_bytes=wire
+                )
         # try_complete: a concurrent crash may have reset this barrier.
         self.barrier.try_complete(uid, self.env.now)
+
+    def _checkpoint_serialize_cost(self, raw, wire):
+        """Seconds to serialise and push one checkpoint onto the wire:
+        delivery, plus compression CPU over the raw bytes, plus compressed
+        bytes over NIC bandwidth."""
+        return (
+            self.costs.delivery
+            + self.system.checkpoint_compression().cpu_seconds(raw)
+            + wire / self.costs.nic_bandwidth
+        )
 
     def _apply(self, command):
         if self.state is None:
@@ -331,6 +372,18 @@ class PSMRSystem(BaseSystem):
         self._last_checkpoint_appends = 0
         self._checkpoint_inflight = None
         self._checkpoint_sequence = itertools.count()
+        #: Per-replica checkpoint-chain metadata: the cuts (ticket ids) of
+        #: the entries since the last full snapshot, newest last.  Used to
+        #: pick full vs. delta at each marker and to negotiate chain-suffix
+        #: recovery transfers.  ``tip`` is the last installed cut (``None``
+        #: after a restore, which starts a fresh lineage).
+        self._chains = [
+            {"cuts": [], "wire": [], "tip": None}
+            for _ in range(config.num_replicas)
+        ]
+        #: Measured checkpoint traffic, by kind (compressed wire bytes).
+        self.checkpoint_bytes = {"full": 0, "delta": 0}
+        self.checkpoint_counts = {"full": 0, "delta": 0}
         if self.checkpoint_policy is not None and self.checkpoint_policy.every_seconds:
             self.env.process(self._checkpoint_clock(), name="psmr-checkpoint-clock")
         for replica_id in range(config.num_replicas):
@@ -459,9 +512,12 @@ class PSMRSystem(BaseSystem):
         """
         if self._checkpoint_inflight is not None and not self._checkpoint_inflight.done:
             return None
-        ticket = CheckpointTicket(self.env, append_count=self.log_appends)
+        ticket_id = next(self._checkpoint_sequence)
+        ticket = CheckpointTicket(
+            self.env, append_count=self.log_appends, ticket_id=ticket_id
+        )
         command = Command(
-            uid=(CHECKPOINT_COMMAND, next(self._checkpoint_sequence)),
+            uid=(CHECKPOINT_COMMAND, ticket_id),
             name=CHECKPOINT_COMMAND,
             args={"ticket": ticket},
             size_bytes=64,
@@ -474,10 +530,81 @@ class PSMRSystem(BaseSystem):
         self._last_checkpoint_appends = self.log_appends
         return ticket
 
-    def checkpoint_installed(self, replica_id, ticket):
-        """One replica finished its checkpoint at a marker cut."""
+    def checkpoint_installed(self, replica_id, ticket, kind="full",
+                             raw_bytes=0, wire_bytes=0):
+        """One replica finished its (full or delta) checkpoint at a marker cut."""
         ticket.installed.add(replica_id)
+        ticket.sizes[replica_id] = (kind, raw_bytes, wire_bytes)
+        chain = self._chains[replica_id]
+        if kind == "full":
+            chain["cuts"] = [ticket.ticket_id]
+            chain["wire"] = [wire_bytes]
+        else:
+            chain["cuts"].append(ticket.ticket_id)
+            chain["wire"].append(wire_bytes)
+        chain["tip"] = ticket.ticket_id
+        self.checkpoint_bytes[kind] += wire_bytes
+        self.checkpoint_counts[kind] += 1
         self._maybe_complete_checkpoint(ticket)
+
+    def checkpoint_compression(self):
+        """The policy's compression cost model (no-op without a policy)."""
+        if self.checkpoint_policy is not None:
+            return self.checkpoint_policy.compression
+        return NO_COMPRESSION
+
+    def checkpoint_kind(self, replica_id, state):
+        """Full or delta for the replica's next periodic checkpoint.
+
+        A delta needs an existing base on the chain (``tip`` is ``None``
+        right after build or a restore), a policy that still allows deltas
+        on the chain, and a state machine with delta support.
+        """
+        chain = self._chains[replica_id]
+        policy = self.checkpoint_policy
+        if (
+            chain["tip"] is not None
+            and chain["cuts"]
+            and policy is not None
+            and not policy.take_full(len(chain["cuts"]) - 1)
+            and state is not None
+            and hasattr(state, "delta_checkpoint")
+        ):
+            return "delta"
+        return "full"
+
+    def negotiate_transfer(self, joiner_id, donor_id, donor_state, checkpoint):
+        """Pick the transfer mode and bytes for one recovery.
+
+        When the joiner's last installed cut is still on the donor's chain
+        (the donor has not started a new lineage with a full snapshot since
+        then), only the chain suffix after that cut plus the residual delta
+        up to the recovery marker crosses the wire.  Otherwise the whole
+        checkpoint does.  Returns ``(mode, raw_bytes, wire_bytes)`` where
+        ``raw_bytes`` drives compression CPU and ``wire_bytes`` transfer
+        time.  The handed-over state object is the full ``checkpoint``
+        either way — the cut is identical; only the accounting differs, and
+        in the threaded runtime only the suffix actually moves.
+        """
+        compression = self.checkpoint_compression()
+        full_raw = estimate_checkpoint_size(checkpoint)
+        joiner_tip = self._chains[joiner_id]["tip"]
+        donor_chain = self._chains[donor_id]
+        if (
+            joiner_tip is not None
+            and donor_state is not None
+            and hasattr(donor_state, "delta_checkpoint")
+            and joiner_tip in donor_chain["cuts"]
+        ):
+            position = donor_chain["cuts"].index(joiner_tip)
+            suffix_wire = sum(donor_chain["wire"][position + 1:])
+            residual = donor_state.delta_checkpoint(reset=False)
+            residual_raw = estimate_checkpoint_size(residual)
+            raw = residual_raw  # compression CPU re-paid for the residual only
+            wire = suffix_wire + compression.wire_size(residual_raw)
+            if wire < compression.wire_size(full_raw):
+                return "delta", raw, wire
+        return "full", full_raw, compression.wire_size(full_raw)
 
     def replica_recovered(self, replica_id, recovery_started_at):
         """Credit a just-recovered replica on a ticket it skipped while down.
@@ -490,7 +617,13 @@ class PSMRSystem(BaseSystem):
         future checkpoint.  A ticket submitted *after* the recovery
         marker is left alone: the replica executes that marker itself
         (and pays for it) once it is back online.
+
+        The restored state also starts a fresh checkpoint lineage: the
+        replica's chain metadata resets, so its next periodic marker takes
+        a full snapshot and later recoveries cannot chain off pre-crash
+        cuts.
         """
+        self._chains[replica_id] = {"cuts": [], "wire": [], "tip": None}
         ticket = self._checkpoint_inflight
         if ticket is not None and ticket.started_at <= recovery_started_at:
             ticket.installed.add(replica_id)

@@ -32,6 +32,11 @@ import itertools
 import threading
 import time
 
+from repro.common.checkpoint import (
+    NO_COMPRESSION,
+    estimate_checkpoint_size,
+    restore_chain,
+)
 from repro.common.errors import ConfigurationError, RecoveryError, ReplicaCrashedError
 from repro.core.cg import CGFunction
 from repro.core.command import Command
@@ -181,7 +186,11 @@ class _Replica:
         self.service = service
         self.barrier = _BarrierSync()
         self.crashed = False
-        self.last_checkpoint = None  # (sequence, state) of the latest local checkpoint
+        #: The replica's local checkpoint chain: one full base entry
+        #: followed by the deltas chained off it, each shaped
+        #: ``{"kind", "sequence", "payload"}``.  Replaced wholesale (never
+        #: mutated in place) so concurrent readers see a consistent chain.
+        self.checkpoint_chain = []
         #: Sequence number of the latest installed checkpoint; -1 means the
         #: initial service state (the cut before any message).  The log must
         #: retain everything after this watermark for the replica to recover
@@ -261,16 +270,59 @@ class _Replica:
         if marker.source_replica_id is None:
             # Periodic marker: every replica checkpoints locally, advancing
             # its watermark; only completion is reported (state stays here).
-            state = self.service.checkpoint()
-            self.last_checkpoint = (sequence, state)
+            # The policy's ``full_every`` decides full vs. delta: a delta
+            # serialises only what changed since the chain tip.
+            entry = self._take_local_checkpoint(sequence)
             self.checkpoint_watermark = sequence
+            self.cluster._record_checkpoint(self.replica_id, entry)
             marker.deliver(self.replica_id, sequence, None)
         elif marker.source_replica_id == self.replica_id:
+            # Source marker (recovery transfer): a fresh full snapshot.  It
+            # also becomes this replica's new chain base, so delta tracking
+            # restarts here.
             state = self.service.checkpoint()
-            self.last_checkpoint = (sequence, state)
+            if hasattr(self.service, "reset_delta_tracking"):
+                self.service.reset_delta_tracking()
+            self.checkpoint_chain = [
+                {"kind": "full", "sequence": sequence, "payload": state}
+            ]
             self.checkpoint_watermark = sequence
             marker.deliver(self.replica_id, sequence, state)
         self.barrier.complete(marker.uid)
+
+    def _take_local_checkpoint(self, sequence):
+        """Snapshot the service at a periodic cut; returns the chain entry.
+
+        A delta is taken when the policy allows more deltas on the current
+        chain and the service supports delta checkpoints; otherwise a full
+        snapshot starts a new chain (and resets the service's delta
+        tracking, so the next delta is relative to this base).
+        """
+        policy = self.cluster.checkpoint_policy
+        chain = self.checkpoint_chain
+        take_delta = (
+            chain
+            and policy is not None
+            and not policy.take_full(len(chain) - 1)
+            and hasattr(self.service, "delta_checkpoint")
+        )
+        if take_delta:
+            entry = {
+                "kind": "delta",
+                "sequence": sequence,
+                "payload": self.service.delta_checkpoint(),
+            }
+            self.checkpoint_chain = [*chain, entry]
+        else:
+            entry = {
+                "kind": "full",
+                "sequence": sequence,
+                "payload": self.service.checkpoint(),
+            }
+            if hasattr(self.service, "reset_delta_tracking"):
+                self.service.reset_delta_tracking()
+            self.checkpoint_chain = [entry]
+        return entry
 
     def _execute_and_reply(self, command):
         response = self.service.apply(command)
@@ -380,6 +432,11 @@ class ThreadedPSMRCluster:
         self.checkpoint_poll_interval = checkpoint_poll_interval
         self.checkpoints_taken = 0
         self.truncations = 0
+        #: Measured checkpoint sizes: wire bytes by kind, plus a per-entry
+        #: event log and per-recovery transfer records (mode + bytes).
+        self.checkpoint_bytes = {"full": 0, "delta": 0}
+        self.checkpoint_events = []
+        self.recovery_transfers = []
         self._scheduler = None
         self._pending_markers = set()
         #: Serialises log truncation against replica (re-)registration, and
@@ -556,6 +613,41 @@ class ThreadedPSMRCluster:
             self.truncate_to_watermarks()
         return sequence
 
+    def _compression(self):
+        if self.checkpoint_policy is not None:
+            return self.checkpoint_policy.compression
+        return NO_COMPRESSION
+
+    def _record_checkpoint(self, replica_id, entry):
+        """Account one local checkpoint's measured (compressed) size."""
+        raw = estimate_checkpoint_size(entry["payload"])
+        wire = self._compression().wire_size(raw)
+        with self._lock:
+            self.checkpoint_bytes[entry["kind"]] += wire
+            self.checkpoint_events.append(
+                {
+                    "sequence": entry["sequence"],
+                    "replica_id": replica_id,
+                    "kind": entry["kind"],
+                    "raw_bytes": raw,
+                    "wire_bytes": wire,
+                }
+            )
+
+    def _record_transfer(self, replica_id, mode, payloads):
+        """Account one recovery's transferred checkpoint bytes."""
+        raw = sum(estimate_checkpoint_size(payload) for payload in payloads)
+        wire = self._compression().wire_size(raw) if payloads else 0
+        with self._lock:
+            self.recovery_transfers.append(
+                {
+                    "replica_id": replica_id,
+                    "mode": mode,
+                    "entries": len(payloads),
+                    "wire_bytes": wire,
+                }
+            )
+
     def truncate_to_watermarks(self):
         """Truncate the multicast log up to the minimum replayable watermark.
 
@@ -591,19 +683,24 @@ class ThreadedPSMRCluster:
                 self.truncations += 1
 
     def recover_replica(self, replica_id, source_replica_id=None):
-        """Bring a crashed replica back online.
+        """Bring a crashed replica back online, negotiating the cheapest path.
 
-        Two paths:
+        Three paths, tried in cost order:
 
-        * **Log-suffix replay** (default when possible): the replica
-          restores its *own* last local checkpoint (watermark ``w``) and
-          replays the retained log after ``w`` — no state transfer at all.
+        * **Log-suffix replay** (no transfer at all): the replica restores
+          its *own* checkpoint chain (watermark ``w``) and replays the
+          retained log after ``w``.
+        * **Chain-suffix transfer**: when the log no longer reaches back to
+          ``w`` but a live peer's checkpoint chain extends the joiner's —
+          the peer checkpointed at the same cuts and has not taken a full
+          snapshot since ``w`` — only the *delta* entries after ``w`` are
+          transferred; the joiner restores its own chain plus the suffix
+          and replays the log after the peer's chain tip.
         * **Full state transfer**: a live peer is checkpointed at a fresh
           marker (sequence ``s``); a new service instance restores that
-          state and is registered with the log suffix after ``s``.  Used
-          when the replica is past its replayable horizon (the log was
-          truncated beyond its watermark) or when ``source_replica_id``
-          explicitly requests a peer transfer.
+          state and is registered with the log suffix after ``s``.  The
+          fallback when no chain lineage is shared, and the path taken when
+          ``source_replica_id`` explicitly requests a peer transfer.
 
         An explicit ``source_replica_id`` is validated up front: it must
         be a live replica other than the one being recovered.
@@ -613,10 +710,15 @@ class ThreadedPSMRCluster:
             raise RecoveryError(f"replica {replica_id} is not crashed")
         # An explicit source is validated up front by recover_replicas
         # (it must be live and not the replica being recovered).
-        if source_replica_id is None and not old.needs_full_transfer:
-            replica = self._recover_via_replay(replica_id, old)
-            if replica is not None:
-                return replica
+        if source_replica_id is None:
+            if not old.needs_full_transfer:
+                replica = self._recover_via_replay(replica_id, old)
+                if replica is not None:
+                    return replica
+            if old.checkpoint_chain:
+                replica = self._recover_via_chain_transfer(replica_id, old)
+                if replica is not None:
+                    return replica
         return self.recover_replicas([replica_id], source_replica_id)[0]
 
     def recover_replicas(self, replica_ids, source_replica_id=None):
@@ -660,9 +762,12 @@ class ThreadedPSMRCluster:
                     queues = self.multicast.register_replica(
                         replica_id, range(1, self.mpl + 1), after_sequence=sequence
                     )
-                replica = self._install_replica(replica_id, service, queues)
-                replica.last_checkpoint = (sequence, state)
-                replica.checkpoint_watermark = sequence
+                replica = self._install_replica(
+                    replica_id, service, queues,
+                    chain=[{"kind": "full", "sequence": sequence, "payload": state}],
+                    watermark=sequence,
+                )
+                self._record_transfer(replica_id, "full", [state])
                 recovered.append(replica)
             return recovered
         finally:
@@ -671,13 +776,13 @@ class ThreadedPSMRCluster:
                     self._truncation_floors.pop(replica_id, None)
 
     def _recover_via_replay(self, replica_id, old):
-        """Try the cheap recovery path: own checkpoint + log-suffix replay.
+        """Try the cheap recovery path: own checkpoint chain + log replay.
 
         Returns the recovered replica, or ``None`` when the replica has no
         local checkpoint or the log no longer reaches back to its watermark
-        (the caller then falls back to a full state transfer).
+        (the caller then tries a chain-suffix or full state transfer).
         """
-        if old.last_checkpoint is None:
+        if not old.checkpoint_chain:
             # Never checkpointed locally: replaying would re-execute the
             # whole retained history from a fresh service — O(history),
             # not O(state).  A peer checkpoint transfer is the right cost.
@@ -689,7 +794,7 @@ class ThreadedPSMRCluster:
             old.needs_full_transfer = True
             return None
         service = self.service_factory()
-        service.restore(old.last_checkpoint[1])
+        restore_chain(service, old.checkpoint_chain)
         with self._recovery_lock:
             try:
                 queues = self.multicast.register_replica(
@@ -700,13 +805,84 @@ class ThreadedPSMRCluster:
             except RecoveryError:
                 old.needs_full_transfer = True
                 return None
-        replica = self._install_replica(replica_id, service, queues)
-        replica.last_checkpoint = old.last_checkpoint
-        replica.checkpoint_watermark = old.checkpoint_watermark
+        replica = self._install_replica(
+            replica_id, service, queues,
+            chain=old.checkpoint_chain, watermark=old.checkpoint_watermark,
+        )
+        self._record_transfer(replica_id, "replay", [])
         return replica
 
-    def _install_replica(self, replica_id, service, queues):
+    def _recover_via_chain_transfer(self, replica_id, old):
+        """Try the delta path: transfer only the chain suffix the joiner misses.
+
+        A live peer qualifies as donor when the joiner's watermark ``w`` is
+        one of the peer's chain cuts — periodic markers cut every replica at
+        the same sequences, so that holds exactly when the peer has not
+        started a new chain (taken a full snapshot) since ``w``.  The
+        joiner restores its *own* chain to ``w``, applies the peer's delta
+        entries after ``w``, and replays the log after the peer's chain tip
+        (retained, because the live peer's watermark pins truncation).
+        Returns ``None`` when no peer's chain extends the joiner's, or when
+        the replay after the donor's tip would itself exceed the policy's
+        ``max_replay_lag`` horizon (the O(history) replay the horizon
+        forbids) — the caller then falls back to a fresh full transfer.
+        """
+        with self._recovery_lock:
+            suffix = None
+            for peer in self.replicas:
+                if peer.crashed or peer.replica_id == replica_id:
+                    continue
+                chain = peer.checkpoint_chain
+                positions = [
+                    index for index, entry in enumerate(chain)
+                    if entry["sequence"] == old.checkpoint_watermark
+                ]
+                if positions:
+                    suffix = chain[positions[0] + 1:]
+                    break
+            if suffix is None:
+                return None
+            tip = suffix[-1]["sequence"] if suffix else old.checkpoint_watermark
+            policy = self.checkpoint_policy
+            if policy is not None and not policy.replayable(
+                self.multicast.latest_sequence() - tip
+            ):
+                return None
+            # Pin truncation below the joiner's watermark until it is
+            # registered: the suffix replay starts at the donor's tip, and
+            # a concurrent periodic checkpoint must not truncate past it.
+            self._truncation_floors[replica_id] = old.checkpoint_watermark
+        try:
+            service = self.service_factory()
+            restore_chain(service, [*old.checkpoint_chain, *suffix])
+            with self._recovery_lock:
+                try:
+                    queues = self.multicast.register_replica(
+                        replica_id, range(1, self.mpl + 1), after_sequence=tip
+                    )
+                except RecoveryError:
+                    return None
+            replica = self._install_replica(
+                replica_id, service, queues,
+                chain=[*old.checkpoint_chain, *suffix], watermark=tip,
+            )
+            self._record_transfer(
+                replica_id, "chain-suffix", [entry["payload"] for entry in suffix]
+            )
+            return replica
+        finally:
+            with self._recovery_lock:
+                self._truncation_floors.pop(replica_id, None)
+
+    def _install_replica(self, replica_id, service, queues, chain, watermark):
+        """Install a recovered replica; chain/watermark are set *before* its
+        workers start — the registration queues may already hold a periodic
+        marker whose execution reads (and must extend, not be overwritten
+        by) the chain, keeping it in sync with the service's delta-tracking
+        mark."""
         replica = _Replica(self, replica_id, service, queues)
+        replica.checkpoint_chain = chain
+        replica.checkpoint_watermark = watermark
         self.replicas[replica_id] = replica
         if self._started:
             replica.start()

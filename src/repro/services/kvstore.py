@@ -81,6 +81,8 @@ class KeyValueStoreServer:
         self._tree = BPlusTree(order=order)
         for key in range(initial_keys):
             self._tree.insert(key, value)
+        # The seeded state is the implicit base: tracking starts clean.
+        self._tree.clear_delta_tracking()
         self.commands_executed = 0
 
     def __len__(self):
@@ -146,6 +148,28 @@ class KeyValueStoreServer:
         self._tree.restore(state["tree"])
         self.commands_executed = state["commands_executed"]
         return self
+
+    def delta_checkpoint(self, reset=True):
+        """Serialise only the keys written/deleted since the last tracking mark.
+
+        Applying the result (with :meth:`apply_delta`) to a replica whose
+        state matches the mark reproduces this replica exactly.  With
+        ``reset`` the mark moves to now — the normal checkpoint-chain
+        behaviour; ``reset=False`` peeks without disturbing the chain.
+        """
+        delta = self._tree.delta(reset=reset)
+        delta["commands_executed"] = self.commands_executed
+        return delta
+
+    def apply_delta(self, state):
+        """Advance the service from a chain base by one :meth:`delta_checkpoint`."""
+        self._tree.apply_delta(state)
+        self.commands_executed = state["commands_executed"]
+        return self
+
+    def reset_delta_tracking(self):
+        """Move the delta-tracking mark to the current state (a new full base)."""
+        self._tree.clear_delta_tracking()
 
     def checkpoint_size_bytes(self):
         """Wire size of a checkpoint of the current state (transfer accounting)."""

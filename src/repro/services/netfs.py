@@ -179,6 +179,29 @@ class NetFSServer:
         self.commands_executed = state["commands_executed"]
         return self
 
+    def delta_checkpoint(self, reset=True):
+        """Serialise only the inodes dirtied since the last tracking mark.
+
+        Applying the result (with :meth:`apply_delta`) to a replica whose
+        state matches the mark reproduces this replica exactly, open
+        descriptors included.  With ``reset`` the mark moves to now;
+        ``reset=False`` peeks without disturbing the chain.
+        """
+        return {
+            "fs": self.fs.delta_checkpoint(reset=reset),
+            "commands_executed": self.commands_executed,
+        }
+
+    def apply_delta(self, state):
+        """Advance the service from a chain base by one :meth:`delta_checkpoint`."""
+        self.fs.apply_delta(state["fs"])
+        self.commands_executed = state["commands_executed"]
+        return self
+
+    def reset_delta_tracking(self):
+        """Move the delta-tracking mark to the current state (a new full base)."""
+        self.fs.clear_delta_tracking()
+
     def checkpoint_size_bytes(self):
         """Wire size of a checkpoint of the current state (transfer accounting)."""
         return estimate_checkpoint_size(self.checkpoint())

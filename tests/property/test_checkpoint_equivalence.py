@@ -1,0 +1,225 @@
+"""Property suite: delta-checkpoint chains are equivalent to full checkpoints.
+
+The recovery contract behind incremental checkpoints: for *any* operation
+history with full and delta checkpoints interleaved at arbitrary points,
+
+* restoring base + delta chain reproduces the live replica's state exactly
+  (at every checkpoint cut, not just the last one);
+* it reproduces the same state as restoring a full checkpoint taken at the
+  same cut;
+* the restored replica then behaves identically to the live one on any
+  subsequent command sequence (so both runtimes may replay the log suffix
+  on top of a chain restore).
+
+Each test drives a service with random op sequences split into segments; a
+checkpoint is taken after every segment, with a randomly chosen kind —
+deltas chain off the last full exactly as the runtimes' ``full_every``
+policy produces, but in arbitrary interleavings rather than a fixed cadence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BPlusTree
+from repro.common.checkpoint import restore_chain
+from repro.common.errors import ServiceError
+from repro.services.kvstore import KeyValueStoreServer
+from repro.services.netfs import NetFSServer
+
+# ----------------------------------------------------------------------
+# Shared strategy helpers
+# ----------------------------------------------------------------------
+#: Each segment is (operations, want_delta): run the ops, then checkpoint —
+#: a delta when requested and a base exists, else a full.
+def segments_of(operations, max_segments=5):
+    return st.lists(
+        st.tuples(operations, st.booleans()), min_size=1, max_size=max_segments
+    )
+
+
+def take_checkpoint(service, chain, want_delta):
+    """Extend ``chain`` the way the runtimes do at a periodic marker."""
+    if chain and want_delta:
+        chain.append({"kind": "delta", "payload": service.delta_checkpoint()})
+    else:
+        payload = service.checkpoint()
+        service.reset_delta_tracking()
+        chain[:] = [{"kind": "full", "payload": payload}]
+    return chain
+
+
+# ----------------------------------------------------------------------
+# Key-value store service
+# ----------------------------------------------------------------------
+kv_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "read", "update"]),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=40,
+)
+
+
+def run_kv(server, commands, base_step=0):
+    outputs = []
+    for step, (name, key) in enumerate(commands, start=base_step):
+        args = {"key": key}
+        if name in ("insert", "update"):
+            args["value"] = bytes([step % 256, (step // 256) % 256])
+        outputs.append(server.execute(name, args))
+    return outputs
+
+
+@settings(max_examples=60, deadline=None)
+@given(segments=segments_of(kv_operations), suffix=kv_operations)
+def test_kvstore_chain_equals_live_and_full(segments, suffix):
+    live = KeyValueStoreServer(initial_keys=6)
+    chain = []
+    step = 0
+    for operations, want_delta in segments:
+        run_kv(live, operations, base_step=step)
+        step += len(operations)
+        take_checkpoint(live, chain, want_delta)
+        # At every cut: base + deltas == live == a fresh full checkpoint.
+        from_chain = restore_chain(KeyValueStoreServer(), chain)
+        from_full = KeyValueStoreServer().restore(live.checkpoint())
+        assert from_chain.snapshot() == live.snapshot() == from_full.snapshot()
+        assert from_chain.checksum() == live.checksum()
+        assert from_chain.commands_executed == live.commands_executed
+    # The chain restore is behaviourally indistinguishable from the live
+    # replica: identical outputs and states over an arbitrary suffix.
+    restored = restore_chain(KeyValueStoreServer(), chain)
+    assert run_kv(restored, suffix, base_step=step) == run_kv(
+        live, suffix, base_step=step
+    )
+    assert restored.snapshot() == live.snapshot()
+    restored.tree.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(segments=segments_of(kv_operations))
+def test_kvstore_peek_delta_does_not_disturb_the_chain(segments):
+    """``delta_checkpoint(reset=False)`` (recovery negotiation's residual
+    peek) must leave the tracking mark alone: the chain built afterwards
+    still restores exactly."""
+    live = KeyValueStoreServer(initial_keys=6)
+    chain = []
+    step = 0
+    for operations, want_delta in segments:
+        run_kv(live, operations, base_step=step)
+        step += len(operations)
+        live.delta_checkpoint(reset=False)  # peek, as a recovery donor does
+        take_checkpoint(live, chain, want_delta)
+    restored = restore_chain(KeyValueStoreServer(), chain)
+    assert restored.snapshot() == live.snapshot()
+    assert restored.commands_executed == live.commands_executed
+
+
+# ----------------------------------------------------------------------
+# Raw B+-tree (the state layer under the key-value store)
+# ----------------------------------------------------------------------
+tree_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "upsert"]),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=60,
+)
+
+
+def run_tree(tree, operations, base_step=0):
+    for step, (name, key) in enumerate(operations, start=base_step):
+        value = bytes([step % 256])
+        try:
+            getattr(tree, name)(key, value) if name != "delete" else tree.delete(key)
+        except ServiceError:
+            pass
+    return tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(segments=segments_of(tree_operations), order=st.sampled_from([4, 5, 32]))
+def test_btree_delta_chain_equals_live(segments, order):
+    live = BPlusTree(order=order)
+    base = None
+    deltas = []
+    step = 0
+    for operations, want_delta in segments:
+        run_tree(live, operations, base_step=step)
+        step += len(operations)
+        if base is not None and want_delta:
+            deltas.append(live.delta())
+        else:
+            base = live.checkpoint()
+            live.clear_delta_tracking()
+            deltas = []
+        restored = BPlusTree(order=order).restore(base)
+        for delta in deltas:
+            restored.apply_delta(delta)
+        assert list(restored.items()) == list(live.items())
+        assert len(restored) == len(live)
+        restored.validate()
+
+
+# ----------------------------------------------------------------------
+# NetFS service (covers the in-memory file system, fd table included)
+# ----------------------------------------------------------------------
+fs_paths = st.sampled_from(["/a", "/b", "/d", "/d/x", "/d/y"])
+fs_calls = st.one_of(
+    st.tuples(
+        st.sampled_from(
+            [
+                "mkdir", "mknod", "create", "unlink", "rmdir", "open",
+                "opendir", "write", "read", "lstat", "readdir", "access",
+                "utimens",
+            ]
+        ),
+        fs_paths,
+    ),
+    # Descriptor churn: release both valid and invalid fds (the error paths
+    # must be deterministic across a restore too).
+    st.tuples(st.just("release"), st.integers(min_value=3, max_value=12)),
+)
+fs_operations = st.lists(fs_calls, max_size=40)
+
+
+def run_netfs(server, commands, base_step=0):
+    outputs = []
+    for step, (name, operand) in enumerate(commands, start=base_step):
+        if name == "release":
+            args = {"fd": operand}
+        else:
+            args = {"path": operand, "now": float(step)}
+        if name == "write":
+            args["data"] = bytes([step % 256]) * 3
+            args["offset"] = step % 5
+        if name == "utimens":
+            args["atime"] = float(step)
+            args["mtime"] = float(step) + 0.5
+        response = server.apply(
+            type("C", (), {"uid": step, "name": name, "args": args})
+        )
+        outputs.append((response.value, response.error))
+    return outputs
+
+
+@settings(max_examples=60, deadline=None)
+@given(segments=segments_of(fs_operations), suffix=fs_operations)
+def test_netfs_chain_equals_live_and_full(segments, suffix):
+    live = NetFSServer()
+    chain = []
+    step = 0
+    for operations, want_delta in segments:
+        run_netfs(live, operations, base_step=step)
+        step += len(operations)
+        take_checkpoint(live, chain, want_delta)
+        from_chain = restore_chain(NetFSServer(), chain)
+        from_full = NetFSServer().restore(live.checkpoint())
+        assert from_chain.snapshot() == live.snapshot() == from_full.snapshot()
+        assert from_chain.fs.open_descriptors() == live.fs.open_descriptors()
+        assert from_chain.commands_executed == live.commands_executed
+    restored = restore_chain(NetFSServer(), chain)
+    assert run_netfs(restored, suffix, base_step=step) == run_netfs(
+        live, suffix, base_step=step
+    )
+    assert restored.snapshot() == live.snapshot()
+    assert restored.fs.open_descriptors() == live.fs.open_descriptors()

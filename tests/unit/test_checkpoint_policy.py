@@ -1,8 +1,17 @@
-"""Unit tests for the shared checkpoint policy."""
+"""Unit tests for the shared checkpoint policy, the delta-chain cadence
+(``full_every``), the compression cost model and the size estimator."""
 
 import pytest
 
-from repro.common.checkpoint import CheckpointPolicy, estimate_checkpoint_size
+from repro.common.checkpoint import (
+    FAST_COMPRESSION,
+    NO_COMPRESSION,
+    TIGHT_COMPRESSION,
+    CheckpointPolicy,
+    CompressionModel,
+    estimate_checkpoint_size,
+    restore_chain,
+)
 from repro.common.errors import ConfigurationError
 
 
@@ -19,10 +28,39 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             CheckpointPolicy(every_messages=10, max_replay_lag=-1)
 
+    def test_full_every_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, full_every=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, full_every=-3)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, full_every=2.5)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, full_every=True)  # bools rejected
+        # None is treated as 1 (deltas disabled).
+        assert CheckpointPolicy(every_messages=10, full_every=None).full_every == 1
+
+    def test_compression_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, compression="zstd")
+        with pytest.raises(ConfigurationError):
+            CompressionModel(ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            CompressionModel(ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            CompressionModel(cpu_seconds_per_byte=-1e-9)
+        # None means the no-op model.
+        assert CheckpointPolicy(every_messages=10).compression is NO_COMPRESSION
+
     def test_repr_names_the_knobs(self):
-        policy = CheckpointPolicy(every_messages=5, every_seconds=1.0, max_replay_lag=9)
+        policy = CheckpointPolicy(
+            every_messages=5, every_seconds=1.0, max_replay_lag=9,
+            full_every=4, compression=FAST_COMPRESSION,
+        )
         assert "every_messages=5" in repr(policy)
         assert "max_replay_lag=9" in repr(policy)
+        assert "full_every=4" in repr(policy)
+        assert "'fast'" in repr(policy)
 
 
 class TestDue:
@@ -41,6 +79,110 @@ class TestDue:
         assert policy.due(10, 0.0)
         assert policy.due(0, 0.5)
         assert not policy.due(9, 0.49)
+
+    def test_message_trigger_boundary_is_inclusive(self):
+        """Exactly ``every_messages`` ordered messages is due, one less is not."""
+        policy = CheckpointPolicy(every_messages=1)
+        assert not policy.due(0, 0.0)
+        assert policy.due(1, 0.0)
+        policy = CheckpointPolicy(every_messages=100)
+        assert not policy.due(99, 0.0)
+        assert policy.due(100, 0.0)
+        assert policy.due(101, 0.0)
+
+    def test_time_trigger_boundary_at_equality(self):
+        """Elapsed time exactly equal to ``every_seconds`` is due."""
+        policy = CheckpointPolicy(every_seconds=2.0)
+        assert not policy.due(10**9, 1.9999999)
+        assert policy.due(0, 2.0)
+        assert policy.due(0, 2.0000001)
+
+    def test_both_triggers_racing_at_their_boundaries(self):
+        """Both triggers hitting their exact thresholds together fire once
+        (due is a single decision, not one per trigger)."""
+        policy = CheckpointPolicy(every_messages=10, every_seconds=0.5)
+        assert policy.due(10, 0.5)
+        # One at threshold, the other just below: still due (OR semantics).
+        assert policy.due(10, 0.4999)
+        assert policy.due(9, 0.5)
+        assert not policy.due(9, 0.4999)
+
+
+class TestTakeFull:
+    def test_full_every_one_means_every_checkpoint_is_full(self):
+        policy = CheckpointPolicy(every_messages=10, full_every=1)
+        assert policy.take_full(0)
+        assert policy.take_full(5)
+
+    def test_full_every_n_allows_n_minus_one_deltas(self):
+        policy = CheckpointPolicy(every_messages=10, full_every=4)
+        assert not policy.take_full(0)  # right after a full: delta
+        assert not policy.take_full(1)
+        assert not policy.take_full(2)
+        assert policy.take_full(3)  # the 4th checkpoint of the cycle is full
+        assert policy.take_full(7)  # never underestimates a long chain
+
+
+class TestCompressionModel:
+    def test_wire_size_scales_by_ratio(self):
+        model = CompressionModel("half", ratio=0.5, cpu_seconds_per_byte=1e-9)
+        assert model.wire_size(1000) == 500
+        assert model.wire_size(0) == 0
+        assert model.wire_size(1) == 1  # never rounds a payload to nothing
+
+    def test_cpu_seconds_scales_by_raw_bytes(self):
+        model = CompressionModel("half", ratio=0.5, cpu_seconds_per_byte=2e-9)
+        assert model.cpu_seconds(1_000_000) == pytest.approx(2e-3)
+        assert model.cpu_seconds(0) == 0.0
+
+    def test_no_compression_is_identity(self):
+        assert NO_COMPRESSION.wire_size(12345) == 12345
+        assert NO_COMPRESSION.cpu_seconds(12345) == 0.0
+
+    def test_presets_trade_ratio_for_cpu(self):
+        assert TIGHT_COMPRESSION.ratio < FAST_COMPRESSION.ratio < 1.0
+        assert TIGHT_COMPRESSION.cpu_seconds_per_byte > FAST_COMPRESSION.cpu_seconds_per_byte
+
+
+class TestRestoreChain:
+    class FakeService:
+        def __init__(self):
+            self.applied = []
+
+        def restore(self, payload):
+            self.applied = [("full", payload)]
+            return self
+
+        def apply_delta(self, payload):
+            self.applied.append(("delta", payload))
+            return self
+
+    def test_applies_base_then_deltas_in_order(self):
+        service = restore_chain(
+            self.FakeService(),
+            [
+                {"kind": "full", "sequence": 1, "payload": "base"},
+                {"kind": "delta", "sequence": 2, "payload": "d1"},
+                {"kind": "delta", "sequence": 3, "payload": "d2"},
+            ],
+        )
+        assert service.applied == [("full", "base"), ("delta", "d1"), ("delta", "d2")]
+
+    def test_rejects_empty_and_malformed_chains(self):
+        with pytest.raises(ConfigurationError):
+            restore_chain(self.FakeService(), [])
+        with pytest.raises(ConfigurationError):
+            restore_chain(
+                self.FakeService(), [{"kind": "delta", "payload": "d"}]
+            )
+        with pytest.raises(ConfigurationError):
+            restore_chain(
+                self.FakeService(),
+                [
+                    {"kind": "full", "payload": "a"},
+                    {"kind": "full", "payload": "b"},
+                ],
+            )
 
 
 class TestReplayable:
@@ -62,3 +204,42 @@ def test_estimate_checkpoint_size_importable_from_common():
     assert legacy is estimate_checkpoint_size
     assert estimate_checkpoint_size(None) == 4096
     assert estimate_checkpoint_size({"a": b"xy"}) == 16 + (1 + 8) + (2 + 8)
+
+
+class TestEstimateCheckpointSize:
+    def test_sets_and_frozensets_are_containers_not_leaves(self):
+        # 16-byte container header plus the walked contents — the same
+        # charge as a list of the same elements, not a flat 8 bytes.
+        assert estimate_checkpoint_size(set()) == 16
+        assert estimate_checkpoint_size({7}) == 16 + 8
+        assert estimate_checkpoint_size(frozenset({7, 9})) == 16 + 8 + 8
+        assert estimate_checkpoint_size({"ab"}) == 16 + (2 + 8)
+        assert estimate_checkpoint_size({1, 2, 3}) == estimate_checkpoint_size(
+            [1, 2, 3]
+        )
+
+    def test_small_ints_and_floats_cost_eight_bytes(self):
+        assert estimate_checkpoint_size(0) == 8
+        assert estimate_checkpoint_size(-1) == 8
+        assert estimate_checkpoint_size(2**63 - 1) == 8
+        assert estimate_checkpoint_size(3.14) == 8
+        assert estimate_checkpoint_size(True) == 8  # bool stays a flat leaf
+
+    def test_large_ints_are_charged_their_byte_width(self):
+        assert estimate_checkpoint_size(2**64) == 9  # 65 bits -> 9 bytes
+        assert estimate_checkpoint_size(2**128) == 17
+        assert estimate_checkpoint_size(10**100) == (
+            (10**100).bit_length() + 7
+        ) // 8
+        # Width applies inside containers too.
+        assert estimate_checkpoint_size([2**128]) == 16 + 17
+
+    def test_nested_container_pin(self):
+        state = {"keys": {1, 2}, "big": 2**72, "rest": [b"xy"]}
+        expected = (
+            16  # outer dict
+            + (4 + 8) + (16 + 8 + 8)  # "keys" -> set of two small ints
+            + (3 + 8) + 10            # "big" -> 73-bit int = 10 bytes
+            + (4 + 8) + (16 + (2 + 8))  # "rest" -> list of b"xy"
+        )
+        assert estimate_checkpoint_size(state) == expected

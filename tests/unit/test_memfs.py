@@ -265,3 +265,52 @@ def test_file_count(fs):
     fs.mkdir("/a/b")
     fs.mknod("/a/b/c")
     assert fs.file_count() == 3
+
+
+def test_read_only_interval_yields_attr_only_delta(fs):
+    """Reads and opens dirty only timestamps: the delta ships small
+    attr-only records, not file contents."""
+    from repro.common.checkpoint import estimate_checkpoint_size
+
+    fs.mkdir("/d")
+    fs.mknod("/d/f")
+    fs.write(path="/d/f", data=b"x" * 4096)
+    base = fs.checkpoint()
+    fs.clear_delta_tracking()
+    for step in range(10):
+        fs.read(path="/d/f", size=4096, now=float(step))
+    fd = fs.open("/d/f", now=11.0)
+    delta = fs.delta_checkpoint()
+    # The 4 KiB of data crossed no wire: only attrs and the fd table did.
+    assert estimate_checkpoint_size(delta) < 1024
+    record = delta["changed"][fs._lookup("/d/f").ino]
+    assert "data" not in record and "entries" not in record
+    assert record["atime"] == 11.0
+
+    from repro.fs.memfs import MemoryFileSystem
+
+    restored = MemoryFileSystem()
+    restored.restore(base)
+    restored.apply_delta(delta)
+    assert restored.tree_snapshot() == fs.tree_snapshot()
+    assert restored.open_descriptors() == fs.open_descriptors()
+    assert restored.lstat("/d/f") == fs.lstat("/d/f")
+    assert restored.read(fd=fd, size=8) == b"x" * 8
+
+
+def test_content_change_promotes_attr_dirty_inode(fs):
+    fs.mknod("/f")
+    fs.write(path="/f", data=b"before")
+    base = fs.checkpoint()
+    fs.clear_delta_tracking()
+    fs.read(path="/f", now=1.0)        # attr tier
+    fs.write(path="/f", data=b"after", now=2.0)  # promoted to content tier
+    delta = fs.delta_checkpoint()
+    record = delta["changed"][fs._lookup("/f").ino]
+    assert record["data"] == b"aftere"  # write overlays, it does not truncate
+
+    from repro.fs.memfs import MemoryFileSystem
+
+    restored = MemoryFileSystem().restore(base)
+    restored.apply_delta(delta)
+    assert restored.tree_snapshot() == fs.tree_snapshot()
