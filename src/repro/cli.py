@@ -21,6 +21,7 @@ from repro.harness.experiments import (
     run_ablation_merge_policy,
     run_checkpoint_scaling,
     run_delta_checkpoint,
+    run_durable_recovery,
     run_fig3_independent,
     run_fig4_dependent,
     run_fig5_scalability,
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "recovery": (run_recovery, True),
     "checkpoint-scaling": (run_checkpoint_scaling, True),
     "delta-checkpoint": (run_delta_checkpoint, True),
+    "durable-recovery": (run_durable_recovery, True),
     "ablation-merge": (run_ablation_merge_policy, True),
     "ablation-cg": (run_ablation_cg_granularity, True),
     "ablation-batch": (run_ablation_batch_size, True),

@@ -30,7 +30,7 @@ serialise + compress + transfer time from it, and the harness reports the
 resulting wire bytes.
 """
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import CheckpointError, ConfigurationError
 
 
 class CompressionModel:
@@ -107,10 +107,20 @@ class CheckpointPolicy:
     ``compression``
         A :class:`CompressionModel` applied to every checkpoint before
         transfer accounting; ``None`` means :data:`NO_COMPRESSION`.
+    ``compact_after``
+        Delta-compaction trigger: once a chain holds this many deltas, the
+        scheduler merges them into a single delta (:func:`compact_chain`),
+        so restores and chain-suffix transfers apply one merged delta
+        instead of the whole run.  Compaction drops the chain's
+        intermediate cuts — a joiner checkpointed at a merged-away cut can
+        no longer take a suffix and falls back to a full transfer — which
+        is the storage-vs-granularity trade the knob expresses.  Must be
+        ``>= 2`` (compacting a single delta is a no-op); ``None`` (the
+        default) disables compaction.
     """
 
     def __init__(self, every_messages=None, every_seconds=None, max_replay_lag=None,
-                 full_every=1, compression=None):
+                 full_every=1, compression=None, compact_after=None):
         if every_messages is None and every_seconds is None:
             raise ConfigurationError(
                 "checkpoint policy needs a message and/or a time trigger"
@@ -131,6 +141,12 @@ class CheckpointPolicy:
             compression = NO_COMPRESSION
         if not isinstance(compression, CompressionModel):
             raise ConfigurationError("compression must be a CompressionModel")
+        if compact_after is not None:
+            if not isinstance(compact_after, int) or isinstance(compact_after, bool):
+                raise ConfigurationError("compact_after must be an int >= 2 (or None)")
+            if compact_after < 2:
+                raise ConfigurationError("compact_after must be an int >= 2 (or None)")
+        self.compact_after = compact_after
         self.every_messages = every_messages
         self.every_seconds = every_seconds
         self.max_replay_lag = max_replay_lag
@@ -159,13 +175,18 @@ class CheckpointPolicy:
         """
         return self.full_every <= 1 or deltas_since_full >= self.full_every - 1
 
+    def compact_due(self, delta_count):
+        """True when a chain holding ``delta_count`` deltas should be compacted."""
+        return self.compact_after is not None and delta_count >= self.compact_after
+
     def __repr__(self):
         return (
             f"CheckpointPolicy(every_messages={self.every_messages}, "
             f"every_seconds={self.every_seconds}, "
             f"max_replay_lag={self.max_replay_lag}, "
             f"full_every={self.full_every}, "
-            f"compression={self.compression.name!r})"
+            f"compression={self.compression.name!r}, "
+            f"compact_after={self.compact_after})"
         )
 
 
@@ -176,18 +197,88 @@ def restore_chain(service, chain):
     "payload": ...}`` (extra keys — sequence numbers, sizes — are ignored).
     The first entry must be a full checkpoint; every later entry must be a
     delta, applied in order.  Returns the service.
+
+    Malformed chains — empty, delta-first, or holding more than one full
+    base — raise :class:`~repro.common.errors.CheckpointError` *before* the
+    service is touched, so a caller negotiating recovery can fall back to
+    another path with its service state intact.
     """
-    if not chain:
-        raise ConfigurationError("checkpoint chain is empty")
+    _validate_chain(chain)
     first, *rest = chain
-    if first["kind"] != "full":
-        raise ConfigurationError("checkpoint chain must start with a full base")
     service.restore(first["payload"])
     for entry in rest:
-        if entry["kind"] != "delta":
-            raise ConfigurationError("checkpoint chain may hold one full base only")
         service.apply_delta(entry["payload"])
     return service
+
+
+def _validate_chain(chain):
+    """Reject chains :func:`restore_chain`/:func:`compact_chain` cannot use."""
+    if not chain:
+        raise CheckpointError("checkpoint chain is empty")
+    if chain[0]["kind"] != "full":
+        raise CheckpointError("checkpoint chain must start with a full base")
+    for entry in chain[1:]:
+        if entry["kind"] != "delta":
+            raise CheckpointError("checkpoint chain may hold one full base only")
+
+
+def merge_deltas(older, newer):
+    """Merge two *adjacent* delta checkpoints into one equivalent delta.
+
+    ``older`` and ``newer`` must come from consecutive cuts of the same
+    chain.  The merge is last-writer-wins on keys (B+-tree deltas) and
+    inode numbers (file-system deltas), with deletions folded: a key
+    written in ``older`` and deleted in ``newer`` ends up deleted, one
+    deleted and then recreated ends up written.  Applying the result to a
+    base matching ``older``'s mark produces exactly the state of applying
+    ``older`` then ``newer``.
+
+    Dispatches on the payload shape the services produce: a NetFS service
+    delta (``{"fs": ..., "commands_executed": ...}``), a raw file-system
+    delta (``{"changed", "removed", ...}``), or a tree/key-value delta
+    (``{"changes", "deletions", ...}``).  Mismatched or unrecognised
+    shapes raise :class:`~repro.common.errors.CheckpointError`.
+    """
+    if not isinstance(older, dict) or not isinstance(newer, dict):
+        raise CheckpointError("delta payloads must be dicts")
+    # Imported lazily: the services import this module at load time.
+    from repro.btree import BPlusTree
+    from repro.fs import MemoryFileSystem
+    from repro.services.kvstore import KeyValueStoreServer
+    from repro.services.netfs import NetFSServer
+
+    if "fs" in older and "fs" in newer:
+        return NetFSServer.merge_deltas(older, newer)
+    if "changed" in older and "changed" in newer:
+        return MemoryFileSystem.merge_deltas(older, newer)
+    if "changes" in older and "changes" in newer:
+        if "commands_executed" in newer:
+            return KeyValueStoreServer.merge_deltas(older, newer)
+        return BPlusTree.merge_deltas(older, newer)
+    raise CheckpointError(
+        "cannot merge deltas of mismatched or unrecognised shapes: "
+        f"{sorted(older)} vs {sorted(newer)}"
+    )
+
+
+def compact_chain(chain):
+    """Collapse a chain's run of deltas into one merged delta.
+
+    Returns a new chain (the input is never mutated): the same full base
+    followed by at most one delta carrying the merged changes, stamped with
+    the *last* delta's metadata (sequence and any extra keys) so the chain
+    still names its tip cut.  A chain with one delta or fewer is returned
+    as a shallow copy.  Malformed chains raise
+    :class:`~repro.common.errors.CheckpointError`.
+    """
+    entries = list(chain)
+    _validate_chain(entries)
+    if len(entries) <= 2:
+        return entries
+    merged = entries[1]["payload"]
+    for entry in entries[2:]:
+        merged = merge_deltas(merged, entry["payload"])
+    return [entries[0], {**entries[-1], "payload": merged}]
 
 
 def estimate_checkpoint_size(state, default=4096):

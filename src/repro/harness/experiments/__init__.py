@@ -13,6 +13,7 @@ from repro.harness.experiments.skew import run_fig7_skew
 from repro.harness.experiments.netfs import run_fig8_netfs
 from repro.harness.experiments.recovery import run_checkpoint_scaling, run_recovery
 from repro.harness.experiments.delta import run_delta_checkpoint
+from repro.harness.experiments.durable import run_durable_recovery
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -30,6 +31,7 @@ __all__ = [
     "run_recovery",
     "run_checkpoint_scaling",
     "run_delta_checkpoint",
+    "run_durable_recovery",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

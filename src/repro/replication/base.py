@@ -112,6 +112,11 @@ class RecoveryRecord:
         #: compressed byte count charged for the transfer.
         self.transfer_mode = None
         self.transfer_bytes = 0
+        #: The gossiped peer whose chain suffix was accounted for a
+        #: ``"delta"`` transfer (``None`` for a full transfer).  May name a
+        #: replica other than the one that published the checkpoint — that
+        #: is exactly what chain gossip buys.
+        self.chain_donor_id = None
         #: Set (synchronously) by the live executor that will publish the
         #: checkpoint, *before* it yields for the serialisation time — so a
         #: second live replica reaching the marker during that window does

@@ -16,6 +16,7 @@ Structure (paper sections IV and VI-A):
 import itertools
 
 from repro.common.checkpoint import NO_COMPRESSION
+from repro.common.checkpoint_store import ChainGossip
 from repro.common.errors import RecoveryError
 from repro.core.command import Command
 from repro.core.protocol import plan_execution
@@ -233,8 +234,8 @@ class PsmrWorker:
             # only the chain suffix (plus the residual delta up to this
             # marker) is charged to the wire; the state object itself is
             # handed over either way (the cut is identical).
-            mode, raw, wire = self.system.negotiate_transfer(
-                record.replica_id, self.replica_id, self.state, checkpoint
+            mode, raw, wire, chain_donor = self.system.negotiate_transfer(
+                record.replica_id, self.state, checkpoint
             )
             serialize = self._checkpoint_serialize_cost(raw, wire)
             yield self.env.timeout(serialize)
@@ -246,6 +247,7 @@ class PsmrWorker:
                 self.system.cpu.charge(self.cpu_name, serialize, self.env.now)
                 record.transfer_mode = mode
                 record.transfer_bytes = wire
+                record.chain_donor_id = chain_donor
                 record.checkpoint_ready.succeed((checkpoint, wire))
         # try_complete: a concurrent crash may have reset this barrier.
         self.barrier.try_complete(uid, self.env.now)
@@ -378,12 +380,17 @@ class PSMRSystem(BaseSystem):
         #: recovery transfers.  ``tip`` is the last installed cut (``None``
         #: after a restore, which starts a fresh lineage).
         self._chains = [
-            {"cuts": [], "wire": [], "tip": None}
+            {"cuts": [], "wire": [], "tip": None, "deltas_since_full": 0}
             for _ in range(config.num_replicas)
         ]
+        #: Chain-manifest gossip: every replica publishes its cuts at each
+        #: marker, so recovery can pick *any* live peer whose lineage still
+        #: contains the joiner's cut as the chain-suffix donor.
+        self.gossip = ChainGossip()
         #: Measured checkpoint traffic, by kind (compressed wire bytes).
         self.checkpoint_bytes = {"full": 0, "delta": 0}
         self.checkpoint_counts = {"full": 0, "delta": 0}
+        self.compactions = 0
         if self.checkpoint_policy is not None and self.checkpoint_policy.every_seconds:
             self.env.process(self._checkpoint_clock(), name="psmr-checkpoint-clock")
         for replica_id in range(config.num_replicas):
@@ -532,17 +539,36 @@ class PSMRSystem(BaseSystem):
 
     def checkpoint_installed(self, replica_id, ticket, kind="full",
                              raw_bytes=0, wire_bytes=0):
-        """One replica finished its (full or delta) checkpoint at a marker cut."""
+        """One replica finished its (full or delta) checkpoint at a marker cut.
+
+        Updates the replica's chain metadata, compacts it when the policy's
+        ``compact_after`` is reached — the delta cuts collapse onto the tip,
+        with the merged wire size modelled as the largest constituent (the
+        union of overlapping dirty sets on a skewed workload) — and
+        publishes the resulting manifest to the gossip registry.
+        """
         ticket.installed.add(replica_id)
         ticket.sizes[replica_id] = (kind, raw_bytes, wire_bytes)
         chain = self._chains[replica_id]
         if kind == "full":
             chain["cuts"] = [ticket.ticket_id]
             chain["wire"] = [wire_bytes]
+            chain["deltas_since_full"] = 0
         else:
             chain["cuts"].append(ticket.ticket_id)
             chain["wire"].append(wire_bytes)
+            chain["deltas_since_full"] += 1
+            policy = self.checkpoint_policy
+            if policy is not None and policy.compact_due(len(chain["cuts"]) - 1):
+                chain["cuts"] = [chain["cuts"][0], chain["cuts"][-1]]
+                chain["wire"] = [chain["wire"][0], max(chain["wire"][1:])]
+                self.compactions += 1
         chain["tip"] = ticket.ticket_id
+        self.gossip.publish(
+            replica_id,
+            [("full", chain["cuts"][0])]
+            + [("delta", cut) for cut in chain["cuts"][1:]],
+        )
         self.checkpoint_bytes[kind] += wire_bytes
         self.checkpoint_counts[kind] += 1
         self._maybe_complete_checkpoint(ticket)
@@ -566,45 +592,59 @@ class PSMRSystem(BaseSystem):
             chain["tip"] is not None
             and chain["cuts"]
             and policy is not None
-            and not policy.take_full(len(chain["cuts"]) - 1)
+            and not policy.take_full(chain["deltas_since_full"])
             and state is not None
             and hasattr(state, "delta_checkpoint")
         ):
             return "delta"
         return "full"
 
-    def negotiate_transfer(self, joiner_id, donor_id, donor_state, checkpoint):
-        """Pick the transfer mode and bytes for one recovery.
+    def negotiate_transfer(self, joiner_id, donor_state, checkpoint):
+        """Pick the transfer mode, bytes and chain donor for one recovery.
 
-        When the joiner's last installed cut is still on the donor's chain
-        (the donor has not started a new lineage with a full snapshot since
-        then), only the chain suffix after that cut plus the residual delta
-        up to the recovery marker crosses the wire.  Otherwise the whole
-        checkpoint does.  Returns ``(mode, raw_bytes, wire_bytes)`` where
-        ``raw_bytes`` drives compression CPU and ``wire_bytes`` transfer
-        time.  The handed-over state object is the full ``checkpoint``
-        either way — the cut is identical; only the accounting differs, and
-        in the threaded runtime only the suffix actually moves.
+        The gossiped chain manifests widen the negotiation beyond the
+        claiming replica: *any* live peer whose published lineage still
+        contains the joiner's last installed cut can donate the chain
+        suffix after it, and the cheapest advertised suffix wins — the
+        claiming replica then only ships the residual delta up to the
+        recovery marker.  When no gossiped lineage covers the cut (or a
+        full snapshot is simply cheaper) the whole checkpoint crosses the
+        wire.  Returns ``(mode, raw_bytes, wire_bytes, chain_donor_id)``
+        where ``raw_bytes`` drives compression CPU, ``wire_bytes`` transfer
+        time, and ``chain_donor_id`` names the suffix donor (``None`` for a
+        full transfer).  The handed-over state object is the full
+        ``checkpoint`` either way — the cut is identical; only the
+        accounting differs, and in the threaded runtime only the suffix
+        actually moves.
         """
         compression = self.checkpoint_compression()
         full_raw = estimate_checkpoint_size(checkpoint)
         joiner_tip = self._chains[joiner_id]["tip"]
-        donor_chain = self._chains[donor_id]
         if (
             joiner_tip is not None
             and donor_state is not None
             and hasattr(donor_state, "delta_checkpoint")
-            and joiner_tip in donor_chain["cuts"]
         ):
-            position = donor_chain["cuts"].index(joiner_tip)
-            suffix_wire = sum(donor_chain["wire"][position + 1:])
-            residual = donor_state.delta_checkpoint(reset=False)
-            residual_raw = estimate_checkpoint_size(residual)
-            raw = residual_raw  # compression CPU re-paid for the residual only
-            wire = suffix_wire + compression.wire_size(residual_raw)
-            if wire < compression.wire_size(full_raw):
-                return "delta", raw, wire
-        return "full", full_raw, compression.wire_size(full_raw)
+            live = set(self.live_replica_ids())
+            best = None  # (suffix_wire, peer_id), cheapest advertised suffix
+            for peer_id in self.gossip.donors_for(joiner_tip, exclude=(joiner_id,)):
+                if peer_id not in live:
+                    continue  # advertised lineage, but the peer is down
+                chain = self._chains[peer_id]
+                if joiner_tip not in chain["cuts"]:
+                    continue  # stale gossip (compacted away since publish)
+                position = chain["cuts"].index(joiner_tip)
+                suffix_wire = sum(chain["wire"][position + 1:])
+                if best is None or suffix_wire < best[0]:
+                    best = (suffix_wire, peer_id)
+            if best is not None:
+                residual = donor_state.delta_checkpoint(reset=False)
+                residual_raw = estimate_checkpoint_size(residual)
+                raw = residual_raw  # compression CPU re-paid for the residual only
+                wire = best[0] + compression.wire_size(residual_raw)
+                if wire < compression.wire_size(full_raw):
+                    return "delta", raw, wire, best[1]
+        return "full", full_raw, compression.wire_size(full_raw), None
 
     def replica_recovered(self, replica_id, recovery_started_at):
         """Credit a just-recovered replica on a ticket it skipped while down.
@@ -623,7 +663,10 @@ class PSMRSystem(BaseSystem):
         a full snapshot and later recoveries cannot chain off pre-crash
         cuts.
         """
-        self._chains[replica_id] = {"cuts": [], "wire": [], "tip": None}
+        self._chains[replica_id] = {
+            "cuts": [], "wire": [], "tip": None, "deltas_since_full": 0
+        }
+        self.gossip.drop(replica_id)
         ticket = self._checkpoint_inflight
         if ticket is not None and ticket.started_at <= recovery_started_at:
             ticket.installed.add(replica_id)

@@ -29,14 +29,17 @@ transfer (a fresh peer checkpoint) and the log is truncated without it.
 """
 
 import itertools
+import os
 import threading
 import time
 
 from repro.common.checkpoint import (
     NO_COMPRESSION,
+    compact_chain,
     estimate_checkpoint_size,
     restore_chain,
 )
+from repro.common.checkpoint_store import ChainGossip, CheckpointStore
 from repro.common.errors import ConfigurationError, RecoveryError, ReplicaCrashedError
 from repro.core.cg import CGFunction
 from repro.core.command import Command
@@ -196,6 +199,11 @@ class _Replica:
         #: retain everything after this watermark for the replica to recover
         #: by suffix replay.
         self.checkpoint_watermark = -1
+        #: Periodic deltas taken since the last full snapshot — the
+        #: ``full_every`` cadence counter.  Kept separately from the chain
+        #: length because compaction shrinks the chain without making the
+        #: base any fresher.
+        self.deltas_since_full = 0
         #: Set once the log has been truncated past this (crashed) replica's
         #: watermark: suffix replay is no longer possible and recovery must
         #: perform a full state transfer from a live peer.
@@ -275,6 +283,7 @@ class _Replica:
             entry = self._take_local_checkpoint(sequence)
             self.checkpoint_watermark = sequence
             self.cluster._record_checkpoint(self.replica_id, entry)
+            self.cluster._chain_updated(self)
             marker.deliver(self.replica_id, sequence, None)
         elif marker.source_replica_id == self.replica_id:
             # Source marker (recovery transfer): a fresh full snapshot.  It
@@ -287,6 +296,8 @@ class _Replica:
                 {"kind": "full", "sequence": sequence, "payload": state}
             ]
             self.checkpoint_watermark = sequence
+            self.deltas_since_full = 0
+            self.cluster._chain_updated(self)
             marker.deliver(self.replica_id, sequence, state)
         self.barrier.complete(marker.uid)
 
@@ -296,14 +307,18 @@ class _Replica:
         A delta is taken when the policy allows more deltas on the current
         chain and the service supports delta checkpoints; otherwise a full
         snapshot starts a new chain (and resets the service's delta
-        tracking, so the next delta is relative to this base).
+        tracking, so the next delta is relative to this base).  When the
+        chain's delta count reaches the policy's ``compact_after``, the
+        run of deltas is merged into one (:func:`compact_chain`) — the
+        durable store then rewrites a single merged segment instead of
+        holding k, at the price of the merged-away intermediate cuts.
         """
         policy = self.cluster.checkpoint_policy
         chain = self.checkpoint_chain
         take_delta = (
             chain
             and policy is not None
-            and not policy.take_full(len(chain) - 1)
+            and not policy.take_full(self.deltas_since_full)
             and hasattr(self.service, "delta_checkpoint")
         )
         if take_delta:
@@ -312,7 +327,12 @@ class _Replica:
                 "sequence": sequence,
                 "payload": self.service.delta_checkpoint(),
             }
-            self.checkpoint_chain = [*chain, entry]
+            self.deltas_since_full += 1
+            extended = [*chain, entry]
+            if policy.compact_due(len(extended) - 1):
+                extended = compact_chain(extended)
+                self.cluster._record_compaction(self.replica_id, sequence)
+            self.checkpoint_chain = extended
         else:
             entry = {
                 "kind": "full",
@@ -321,6 +341,7 @@ class _Replica:
             }
             if hasattr(self.service, "reset_delta_tracking"):
                 self.service.reset_delta_tracking()
+            self.deltas_since_full = 0
             self.checkpoint_chain = [entry]
         return entry
 
@@ -413,12 +434,24 @@ class ThreadedPSMRCluster:
     :class:`~repro.common.checkpoint.CheckpointPolicy` — enables periodic
     background checkpoints plus watermark-driven log truncation, which is
     how production deployments keep the replay log bounded.
+
+    ``store_dir`` turns the in-memory checkpoint chains into a restartable
+    subsystem: every replica persists its chain to a
+    :class:`~repro.common.checkpoint_store.CheckpointStore` under
+    ``store_dir/replica-<id>`` (crash-safe segments plus an atomic
+    manifest), and a crashed replica can rejoin as a restarted *process*
+    via :meth:`restart_replica_from_disk` — its in-memory chain is
+    discarded and the durable one reloaded before the normal recovery
+    negotiation runs.  Replicas also gossip their chain manifests (a
+    :class:`~repro.common.checkpoint_store.ChainGossip`) at every marker
+    cut, so any live peer whose lineage still contains the joiner's cut
+    can donate the chain suffix, not just the original donor.
     """
 
     def __init__(self, spec, service_factory, mpl=4, num_replicas=2,
                  coarse_cg=False, barrier_timeout=10.0, seed=0,
                  log_retention=None, checkpoint_policy=None,
-                 checkpoint_poll_interval=0.005):
+                 checkpoint_poll_interval=0.005, store_dir=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         self.spec = spec
@@ -432,6 +465,17 @@ class ThreadedPSMRCluster:
         self.checkpoint_poll_interval = checkpoint_poll_interval
         self.checkpoints_taken = 0
         self.truncations = 0
+        self.compactions = 0
+        #: Chain-manifest exchange: replicas publish ``(kind, sequence)``
+        #: manifests at every marker cut; recovery consults it for donors.
+        self.gossip = ChainGossip()
+        #: Per-replica durable stores (empty when ``store_dir`` is unset).
+        self.stores = {}
+        if store_dir is not None:
+            for replica_id in range(num_replicas):
+                self.stores[replica_id] = CheckpointStore(
+                    os.path.join(store_dir, f"replica-{replica_id}")
+                )
         #: Measured checkpoint sizes: wire bytes by kind, plus a per-entry
         #: event log and per-recovery transfer records (mode + bytes).
         self.checkpoint_bytes = {"full": 0, "delta": 0}
@@ -634,6 +678,40 @@ class ThreadedPSMRCluster:
                 }
             )
 
+    def _record_compaction(self, replica_id, sequence):
+        """Account one delta compaction (counter plus event log)."""
+        with self._lock:
+            self.compactions += 1
+            self.checkpoint_events.append(
+                {
+                    "sequence": sequence,
+                    "replica_id": replica_id,
+                    "kind": "compaction",
+                    "raw_bytes": 0,
+                    "wire_bytes": 0,
+                }
+            )
+
+    def _chain_updated(self, replica):
+        """Persist and gossip a replica's chain after any chain mutation.
+
+        Called from the owning worker thread (periodic and source markers)
+        or from the recovering thread before the replica's workers start,
+        so each store has a single writer.  The durable write happens
+        before the manifest is gossiped: a peer acting on the gossip can
+        rely on the advertised lineage surviving the donor's own restart.
+        """
+        store = self.stores.get(replica.replica_id)
+        if store is not None:
+            store.sync_chain(replica.checkpoint_chain)
+        self.gossip.publish(
+            replica.replica_id,
+            [
+                (entry["kind"], entry["sequence"])
+                for entry in replica.checkpoint_chain
+            ],
+        )
+
     def _record_transfer(self, replica_id, mode, payloads):
         """Account one recovery's transferred checkpoint bytes."""
         raw = sum(estimate_checkpoint_size(payload) for payload in payloads)
@@ -815,24 +893,33 @@ class ThreadedPSMRCluster:
     def _recover_via_chain_transfer(self, replica_id, old):
         """Try the delta path: transfer only the chain suffix the joiner misses.
 
-        A live peer qualifies as donor when the joiner's watermark ``w`` is
-        one of the peer's chain cuts — periodic markers cut every replica at
-        the same sequences, so that holds exactly when the peer has not
-        started a new chain (taken a full snapshot) since ``w``.  The
-        joiner restores its *own* chain to ``w``, applies the peer's delta
-        entries after ``w``, and replays the log after the peer's chain tip
-        (retained, because the live peer's watermark pins truncation).
-        Returns ``None`` when no peer's chain extends the joiner's, or when
-        the replay after the donor's tip would itself exceed the policy's
-        ``max_replay_lag`` horizon (the O(history) replay the horizon
-        forbids) — the caller then falls back to a fresh full transfer.
+        Donors come from the gossiped chain manifests: any replica whose
+        advertised lineage contains the joiner's watermark ``w`` as a cut
+        qualifies — periodic markers cut every replica at the same
+        sequences, so that holds exactly when the peer has not started a
+        new chain (taken a full snapshot) or compacted ``w`` away since.
+        Candidates are tried in replica-id order, skipping crashed ones —
+        so when the first-choice donor is itself down, the next gossiped
+        peer donates instead.  The gossip is re-verified against the
+        donor's live chain (a compaction may have dropped the cut since it
+        was published).  The joiner restores its *own* chain to ``w``,
+        applies the donor's delta entries after ``w``, and replays the log
+        after the donor's chain tip (retained, because the live donor's
+        watermark pins truncation).  Returns ``None`` when no live donor's
+        chain extends the joiner's, or when the replay after the donor's
+        tip would itself exceed the policy's ``max_replay_lag`` horizon
+        (the O(history) replay the horizon forbids) — the caller then
+        falls back to a fresh full transfer.
         """
         with self._recovery_lock:
             suffix = None
-            for peer in self.replicas:
-                if peer.crashed or peer.replica_id == replica_id:
-                    continue
-                chain = peer.checkpoint_chain
+            for donor_id in self.gossip.donors_for(
+                old.checkpoint_watermark, exclude=(replica_id,)
+            ):
+                donor = self.replicas[donor_id]
+                if donor.crashed:
+                    continue  # advertised lineage, but the donor is down
+                chain = donor.checkpoint_chain
                 positions = [
                     index for index, entry in enumerate(chain)
                     if entry["sequence"] == old.checkpoint_watermark
@@ -883,10 +970,48 @@ class ThreadedPSMRCluster:
         replica = _Replica(self, replica_id, service, queues)
         replica.checkpoint_chain = chain
         replica.checkpoint_watermark = watermark
+        # Compaction may have shrunk the chain, so the entry count is only
+        # a lower bound on the base's staleness; under-counting delays the
+        # next full by at most the compacted run — the trade the
+        # ``compact_after`` knob already accepts.
+        replica.deltas_since_full = sum(
+            1 for entry in chain if entry["kind"] == "delta"
+        )
         self.replicas[replica_id] = replica
+        self._chain_updated(replica)
         if self._started:
             replica.start()
         return replica
+
+    def restart_replica_from_disk(self, replica_id, source_replica_id=None):
+        """Recover a crashed replica as a restarted *process*.
+
+        Models the paper's deployment story where a replica comes back
+        from local stable storage: the in-memory chain is discarded (a
+        dead process keeps nothing) and the durable chain is reloaded
+        from the replica's :class:`CheckpointStore` — reopened from disk,
+        exactly as a fresh process would, so only checksummed complete
+        segments count.  The normal negotiation then runs on the reloaded
+        chain: own-chain replay when the log still reaches the durable
+        watermark, a gossiped chain-suffix transfer when it does not, and
+        a fresh full transfer as the fallback (also the path when the
+        disk held no usable chain).
+        """
+        old = self.replicas[replica_id]
+        if not old.crashed:
+            raise RecoveryError(f"replica {replica_id} is not crashed")
+        store = self.stores.get(replica_id)
+        if store is None:
+            raise RecoveryError(
+                f"replica {replica_id} has no durable checkpoint store"
+            )
+        chain = CheckpointStore(store.directory).load_chain()
+        old.checkpoint_chain = chain
+        old.checkpoint_watermark = chain[-1]["sequence"] if chain else -1
+        # The disk watermark may differ from the in-memory one the crash
+        # left behind; let the negotiation re-derive transfer feasibility.
+        old.needs_full_transfer = False
+        return self.recover_replica(replica_id, source_replica_id)
 
     # ------------------------------------------------------------------
     # Client plumbing

@@ -171,6 +171,17 @@ class KeyValueStoreServer:
         """Move the delta-tracking mark to the current state (a new full base)."""
         self._tree.clear_delta_tracking()
 
+    @staticmethod
+    def merge_deltas(older, newer):
+        """Merge two adjacent :meth:`delta_checkpoint` payloads into one.
+
+        Delegates the key merge to :meth:`BPlusTree.merge_deltas` and takes
+        the command counter from ``newer`` (the merged delta's cut).
+        """
+        merged = BPlusTree.merge_deltas(older, newer)
+        merged["commands_executed"] = newer["commands_executed"]
+        return merged
+
     def checkpoint_size_bytes(self):
         """Wire size of a checkpoint of the current state (transfer accounting)."""
         return estimate_checkpoint_size(self.checkpoint())

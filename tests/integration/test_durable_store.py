@@ -1,0 +1,529 @@
+"""Fault-injection and recovery tests for the durable checkpoint store.
+
+The acceptance criterion of the durable subsystem: **a crash at any byte of
+a persist cycle leaves a recoverable longest-valid-prefix**.  The sweep
+here injects a crash after every single byte offset of a full persist
+cycle (base, three deltas, one compaction rewrite) via a ``CrashingFile``
+opener, reopens the store cold each time, and asserts it loads exactly the
+last chain whose manifest commit completed — never a torn manifest, never
+a half-written segment (the checksums reject those).
+
+On top of the byte sweep: checksum rejection of externally corrupted
+segments and manifests, gossip-donated chain-suffix recovery when the
+original donor is itself crashed (with a linearizability check across the
+whole episode), process-restart recovery from disk in the threaded
+cluster, and compaction accounting in the simulated runtime.
+"""
+
+import os
+
+import pytest
+
+from repro.common.checkpoint import CheckpointPolicy, compact_chain
+from repro.common.checkpoint_store import ChainGossip, CheckpointStore
+from repro.common.errors import CheckpointError, RecoveryError
+from repro.harness.experiments.durable import run_durable_recovery
+from repro.harness.runner import build_kv_system
+from repro.runtime import ThreadedPSMRCluster, check_linearizable
+from repro.runtime.linearizability import HistoryRecorder
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+from repro.workload import skewed_update_mix
+
+
+# ----------------------------------------------------------------------
+# Fault injection: crash after N bytes, for every N in a persist cycle
+# ----------------------------------------------------------------------
+class InjectedCrash(Exception):
+    """The 'process died here' signal raised by :class:`CrashingFile`."""
+
+
+class _WriteBudget:
+    """Bytes the simulated process may still write before it dies.
+
+    Shared across every file the store opens, so one budget models one
+    crash point inside a multi-file persist cycle.  ``None`` disables
+    crashing and just counts (the measurement pass).
+    """
+
+    def __init__(self, limit=None):
+        self.limit = limit
+        self.written = 0
+
+    def consume(self, handle, data):
+        if self.limit is None:
+            self.written += len(data)
+            handle.write(data)
+            return
+        remaining = self.limit - self.written
+        if remaining <= 0:
+            raise InjectedCrash("crashed before this write")
+        if len(data) > remaining:
+            # A torn write: part of the data reaches the disk, then death.
+            handle.write(data[:remaining])
+            handle.flush()
+            self.written = self.limit
+            raise InjectedCrash(f"crashed {remaining} bytes into a write")
+        self.written += len(data)
+        handle.write(data)
+
+
+class CrashingFile:
+    """A binary file whose writes die once the shared budget runs out."""
+
+    def __init__(self, handle, budget):
+        self._handle = handle
+        self._budget = budget
+
+    def write(self, data):
+        self._budget.consume(self._handle, data)
+        return len(data)
+
+    def flush(self):
+        self._handle.flush()
+
+    def fileno(self):
+        return self._handle.fileno()
+
+    def close(self):
+        self._handle.close()
+
+
+def crashing_opener(budget):
+    def opener(path, mode="wb"):
+        return CrashingFile(open(path, mode), budget)
+    return opener
+
+
+def persist_cycle_steps():
+    """The successive chain states of one scripted persist cycle.
+
+    Built once from a deterministic key-value history: a full base, three
+    deltas (with delete/recreate overlap), then a compaction rewrite —
+    every kind of write the store performs.
+    """
+    server = KeyValueStoreServer(initial_keys=6)
+    chain = [{"kind": "full", "sequence": 0, "payload": server.checkpoint()}]
+    server.reset_delta_tracking()
+    steps = [list(chain)]
+    for index in range(1, 4):
+        server.execute("update", {"key": index % 6, "value": b"u%d" % index})
+        server.execute("insert", {"key": 10 + index, "value": b"n"})
+        server.execute("delete", {"key": 10 + index - 1 if index > 1 else 0})
+        chain.append(
+            {
+                "kind": "delta",
+                "sequence": index,
+                "payload": server.delta_checkpoint(),
+            }
+        )
+        steps.append(list(chain))
+    steps.append(compact_chain(chain))
+    return steps
+
+
+def run_cycle(directory, steps, budget):
+    """Replay the persist cycle against one store.
+
+    Returns ``(completed_syncs, crashed)`` — the count survives the
+    injected crash, unlike an exception propagated out of a plain loop.
+    """
+    store = CheckpointStore(directory, opener=crashing_opener(budget))
+    completed = 0
+    try:
+        for step in steps:
+            store.sync_chain(step)
+            completed += 1
+    except InjectedCrash:
+        return completed, True
+    return completed, False
+
+
+def chain_identity(chain):
+    return [(entry["kind"], entry["sequence"]) for entry in chain]
+
+
+def test_crash_at_every_byte_recovers_the_last_committed_chain(tmp_path):
+    """Acceptance sweep: for every injected crash byte offset during the
+    persist cycle, reopening the store recovers exactly the chain of the
+    last completed sync — the longest valid prefix, bit-for-bit equal."""
+    steps = persist_cycle_steps()
+    # Measurement pass: how many bytes does the whole cycle write?
+    probe = _WriteBudget(limit=None)
+    completed, crashed = run_cycle(str(tmp_path / "probe"), steps, probe)
+    assert completed == len(steps) and not crashed
+    total_bytes = probe.written
+    assert total_bytes > 0
+    for crash_at in range(total_bytes):
+        directory = str(tmp_path / f"crash-{crash_at}")
+        budget = _WriteBudget(limit=crash_at)
+        completed, crashed = run_cycle(directory, steps, budget)
+        assert crashed, f"budget {crash_at} < {total_bytes} but no crash"
+        # The dead process's store is gone; a fresh one reads the disk.
+        reopened = CheckpointStore(directory)
+        loaded = reopened.load_chain()
+        if completed == 0:
+            assert loaded == []
+        else:
+            expected = steps[completed - 1]
+            assert chain_identity(loaded) == chain_identity(expected)
+            assert [entry["payload"] for entry in loaded] == [
+                entry["payload"] for entry in expected
+            ]
+
+
+def test_crash_free_cycle_persists_the_compacted_chain(tmp_path):
+    steps = persist_cycle_steps()
+    store = CheckpointStore(str(tmp_path))
+    for step in steps:
+        store.sync_chain(step)
+    loaded = CheckpointStore(str(tmp_path)).load_chain()
+    assert chain_identity(loaded) == [("full", 0), ("delta", 3)]
+    # Compaction reuses the base segment and garbage-collects the old
+    # delta segments: two files remain.
+    assert store.segment_count() == 2
+    segments = [
+        name for name in os.listdir(str(tmp_path)) if name.startswith("seg-")
+    ]
+    assert len(segments) == 2
+
+
+# ----------------------------------------------------------------------
+# Checksums reject external corruption (torn segments / torn manifest)
+# ----------------------------------------------------------------------
+def _persisted_store(tmp_path):
+    steps = persist_cycle_steps()
+    store = CheckpointStore(str(tmp_path))
+    store.sync_chain(steps[-2])  # [full, d1, d2, d3], no compaction
+    return store
+
+
+def test_torn_segment_cuts_the_chain_at_the_checksum(tmp_path):
+    store = _persisted_store(tmp_path)
+    records = store._records
+    assert chain_identity(store.load_chain()) == [
+        ("full", 0), ("delta", 1), ("delta", 2), ("delta", 3)
+    ]
+    # Truncate the third entry's segment: the chain ends before it.
+    victim = os.path.join(str(tmp_path), records[2]["segment"])
+    with open(victim, "r+b") as handle:
+        handle.truncate(os.path.getsize(victim) - 1)
+    loaded = CheckpointStore(str(tmp_path)).load_chain()
+    assert chain_identity(loaded) == [("full", 0), ("delta", 1)]
+
+
+def test_corrupt_base_segment_yields_no_chain(tmp_path):
+    store = _persisted_store(tmp_path)
+    victim = os.path.join(str(tmp_path), store._records[0]["segment"])
+    with open(victim, "r+b") as handle:
+        handle.seek(30)
+        byte = handle.read(1)
+        handle.seek(30)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    assert CheckpointStore(str(tmp_path)).load_chain() == []
+
+
+def test_torn_manifest_line_drops_the_tail(tmp_path):
+    _persisted_store(tmp_path)
+    manifest = os.path.join(str(tmp_path), "MANIFEST")
+    with open(manifest, "r+b") as handle:
+        handle.truncate(os.path.getsize(manifest) - 5)  # tear the last line
+    loaded = CheckpointStore(str(tmp_path)).load_chain()
+    assert chain_identity(loaded) == [("full", 0), ("delta", 1), ("delta", 2)]
+
+
+def test_leftover_manifest_tmp_is_ignored(tmp_path):
+    _persisted_store(tmp_path)
+    with open(os.path.join(str(tmp_path), "MANIFEST.tmp"), "wb") as handle:
+        handle.write(b"garbage from a crashed rename\n")
+    loaded = CheckpointStore(str(tmp_path)).load_chain()
+    assert chain_identity(loaded) == [
+        ("full", 0), ("delta", 1), ("delta", 2), ("delta", 3)
+    ]
+
+
+def test_append_delta_to_empty_store_is_a_typed_error(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(CheckpointError):
+        store.append({"kind": "delta", "sequence": 1, "payload": {}})
+    with pytest.raises(CheckpointError):
+        store.append({"kind": "bogus", "sequence": 1, "payload": {}})
+
+
+# ----------------------------------------------------------------------
+# Chain gossip
+# ----------------------------------------------------------------------
+def test_gossip_donors_match_cuts_in_id_order():
+    gossip = ChainGossip()
+    gossip.publish(2, [("full", 5), ("delta", 7), ("delta", 9)])
+    gossip.publish(0, [("full", 5), ("delta", 7)])
+    gossip.publish(1, [("full", 9)])
+    assert gossip.donors_for(7) == [0, 2]
+    assert gossip.donors_for(9) == [1, 2]
+    assert gossip.donors_for(9, exclude=(1,)) == [2]
+    assert gossip.donors_for(4) == []
+    gossip.drop(2)
+    assert gossip.donors_for(7) == [0]
+    assert gossip.manifest_of(2) == ()
+    assert gossip.manifest_of(0) == (("full", 5), ("delta", 7))
+
+
+# ----------------------------------------------------------------------
+# Threaded cluster: gossip recovery and process restart from disk
+# ----------------------------------------------------------------------
+def kv_cluster(mpl=2, replicas=2, initial_keys=16, **kwargs):
+    return ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=initial_keys),
+        mpl=mpl,
+        num_replicas=replicas,
+        barrier_timeout=20.0,
+        **kwargs,
+    )
+
+
+def manual_policy(**kwargs):
+    """Triggers never fire on their own: tests drive markers explicitly."""
+    return CheckpointPolicy(every_messages=10_000_000, **kwargs)
+
+
+def _read_value(client, key):
+    response = client.invoke("read", key=key)
+    return response.value if response.error is None else None
+
+
+def test_gossiped_peer_donates_chain_suffix_when_original_donor_is_down():
+    """Satellite scenario: the joiner's first-choice donor (lowest replica
+    id, the one the pre-gossip negotiation would have used) is itself
+    crashed; a gossiped peer donates the chain suffix instead.  The whole
+    episode is checked linearizable."""
+    recorder = HistoryRecorder()
+    policy = manual_policy(full_every=8, max_replay_lag=5)
+    with kv_cluster(replicas=3, initial_keys=16, checkpoint_policy=policy) as cluster:
+        client = cluster.client()
+
+        def update(key, value):
+            recorder.timed_call(
+                0, "update", {"key": key, "value": value},
+                lambda k=key, v=value: client.invoke("update", key=k, value=v).error,
+            )
+
+        def read(key):
+            recorder.timed_call(
+                0, "read", {"key": key}, lambda k=key: _read_value(client, k)
+            )
+
+        for key in range(16):
+            update(key, "before")
+        cluster.wait_for_quiescence()
+        cluster.periodic_checkpoint()  # full base on all three replicas
+        for key in range(4):
+            update(key, "d1")
+        cluster.wait_for_quiescence()
+        joiner_watermark = cluster.periodic_checkpoint()  # delta cut w
+        cluster.crash_replica(2)
+        # Push the joiner past the replay horizon while the survivors keep
+        # checkpointing: their chains grow the deltas the joiner misses.
+        for burst in range(2):
+            for key in range(8):
+                update(key, f"b{burst}")
+            read(burst)
+            cluster.wait_for_quiescence()
+            cluster.periodic_checkpoint()
+        assert cluster.replicas[2].needs_full_transfer
+        assert cluster.multicast.min_retained() > joiner_watermark + 1
+        # The original (lowest-id) donor dies too.
+        cluster.crash_replica(0)
+        replica = cluster.recover_replica(2)
+        transfer = cluster.recovery_transfers[-1]
+        assert transfer["mode"] == "chain-suffix"
+        assert transfer["entries"] == 2  # exactly the two missed deltas
+        assert replica.checkpoint_watermark > joiner_watermark
+        # The donated lineage was advertised through the gossip registry.
+        donated_cuts = [
+            sequence for _kind, sequence in cluster.gossip.manifest_of(1)
+        ]
+        assert joiner_watermark in donated_cuts
+        cluster.recover_replica(0)
+        for key in range(4):
+            update(key, "after")
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+    initial = {key: b"\x00" * 8 for key in range(16)}
+    assert check_linearizable(recorder.operations, initial_state=initial)
+
+
+def test_restart_from_disk_replays_on_top_of_the_durable_chain(tmp_path):
+    """A crashed replica rejoins as a restarted process: its in-memory
+    chain is wiped, the durable chain is reloaded from disk, and log
+    replay finishes the job — linearizably, with converged replicas."""
+    recorder = HistoryRecorder()
+    policy = manual_policy(full_every=4)
+    with kv_cluster(
+        checkpoint_policy=policy, store_dir=str(tmp_path)
+    ) as cluster:
+        client = cluster.client()
+
+        def update(key, value):
+            recorder.timed_call(
+                0, "update", {"key": key, "value": value},
+                lambda k=key, v=value: client.invoke("update", key=k, value=v).error,
+            )
+
+        for key in range(16):
+            update(key, "base")
+        cluster.wait_for_quiescence()
+        cluster.periodic_checkpoint()  # durable full
+        for key in range(4):
+            update(key, "delta")
+        cluster.wait_for_quiescence()
+        watermark = cluster.periodic_checkpoint()  # durable delta
+        # A cold reopen of the replica's directory sees what the store does.
+        on_disk = CheckpointStore(
+            os.path.join(str(tmp_path), "replica-1")
+        ).manifest()
+        assert on_disk == cluster.stores[1].manifest()
+        assert [kind for kind, _sequence in on_disk] == ["full", "delta"]
+        assert on_disk[-1][1] == watermark
+        cluster.crash_replica(1)
+        # Simulate full process death: the in-memory chain is lost.
+        cluster.replicas[1].checkpoint_chain = []
+        cluster.replicas[1].checkpoint_watermark = -1
+        for key in range(8):
+            update(key, "while-down")
+        replica = cluster.restart_replica_from_disk(1)
+        assert replica.checkpoint_watermark == watermark
+        assert cluster.recovery_transfers[-1]["mode"] == "replay"
+        update(0, "after")
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+    initial = {key: b"\x00" * 8 for key in range(16)}
+    assert check_linearizable(recorder.operations, initial_state=initial)
+
+
+def test_restart_from_disk_falls_back_to_full_when_disk_is_empty(tmp_path):
+    policy = manual_policy(full_every=4)
+    with kv_cluster(
+        checkpoint_policy=policy, store_dir=str(tmp_path)
+    ) as cluster:
+        client = cluster.client()
+        for key in range(8):
+            client.invoke("update", key=key, value=b"base")
+        cluster.wait_for_quiescence()
+        cluster.periodic_checkpoint()
+        cluster.crash_replica(1)
+        cluster.stores[1].clear()  # the disk burned down with the process
+        for key in range(8):
+            client.invoke("update", key=key, value=b"while-down")
+        cluster.restart_replica_from_disk(1)
+        assert cluster.recovery_transfers[-1]["mode"] == "full"
+        client.invoke("update", key=0, value=b"after")
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+def test_restart_from_disk_requires_a_store():
+    with kv_cluster(checkpoint_policy=manual_policy()) as cluster:
+        client = cluster.client()
+        client.invoke("update", key=0, value=b"x")
+        cluster.crash_replica(1)
+        with pytest.raises(RecoveryError):
+            cluster.restart_replica_from_disk(1)
+        cluster.recover_replica(1)
+
+
+def test_compaction_bounds_the_durable_chain(tmp_path):
+    """compact_after=2 keeps the durable chain at [full, merged-delta] while
+    the cadence counter still forces the periodic full on schedule."""
+    policy = manual_policy(full_every=6, compact_after=2)
+    with kv_cluster(
+        checkpoint_policy=policy, store_dir=str(tmp_path)
+    ) as cluster:
+        client = cluster.client()
+        for round_index in range(7):
+            for key in range(8):
+                client.invoke(
+                    "update", key=key, value=f"r{round_index}".encode()
+                )
+            cluster.wait_for_quiescence()
+            cluster.periodic_checkpoint()
+        # full, then deltas (compacted in place), then the cadence full.
+        events = [
+            event["kind"]
+            for event in cluster.checkpoint_events
+            if event["replica_id"] == 0
+        ]
+        assert events.count("compaction") >= 2
+        assert cluster.compactions >= 2
+        # The chain never holds more than one merged delta on disk.
+        assert cluster.stores[0].segment_count() <= 2
+        periodic = [kind for kind in events if kind != "compaction"]
+        # full_every=6 allows five deltas, so the 7th periodic checkpoint
+        # is full again: compaction must not fool the cadence even though
+        # the chain itself never grows past [full, merged-delta].
+        assert periodic[0] == "full"
+        assert periodic[6] == "full"
+        assert all(kind == "delta" for kind in periodic[1:6])
+        # A crashed replica still recovers on top of its compacted chain.
+        cluster.crash_replica(1)
+        for key in range(4):
+            client.invoke("update", key=key, value=b"down")
+        cluster.recover_replica(1)
+        client.invoke("update", key=0, value=b"after")
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+
+
+# ----------------------------------------------------------------------
+# Simulated runtime: compaction accounting + gossiped chain donors
+# ----------------------------------------------------------------------
+def test_sim_compaction_collapses_chain_metadata_and_counts():
+    system = build_kv_system(
+        "P-SMR", 4, mix=skewed_update_mix(), execute_state=True,
+        initial_keys=2048, key_space=2048, distribution="zipfian",
+        zipf_theta=0.9, seed=5,
+        checkpoint_policy=CheckpointPolicy(
+            every_seconds=0.004, full_every=8, compact_after=3
+        ),
+    )
+    system.run(warmup=0.01, duration=0.05)
+    assert system.compactions > 0
+    for chain in system._chains:
+        assert len(chain["cuts"]) <= 4  # 1 full + at most compact_after deltas
+    # Gossip mirrors the (possibly compacted) chains.
+    for replica_id in system.live_replica_ids():
+        manifest = system.gossip.manifest_of(replica_id)
+        assert [cut for _kind, cut in manifest] == system._chains[replica_id]["cuts"]
+
+
+def test_sim_recovery_uses_a_gossiped_chain_donor():
+    system = build_kv_system(
+        "P-SMR", 4, mix=skewed_update_mix(), execute_state=True,
+        initial_keys=16384, key_space=16384, distribution="zipfian",
+        zipf_theta=0.99, seed=5,
+        checkpoint_policy=CheckpointPolicy(every_seconds=0.003, full_every=8),
+    )
+    system.schedule_crash(1, 0.022)
+    system.schedule_recovery(1, 0.028)
+    system.run(warmup=0.01, duration=0.06)
+    record = system.recoveries[0]
+    assert record.done
+    assert record.transfer_mode == "delta"
+    assert record.chain_donor_id in system.live_replica_ids()
+
+
+# ----------------------------------------------------------------------
+# Experiment smoke (the cli-smoke job runs the same driver)
+# ----------------------------------------------------------------------
+def test_durable_recovery_experiment_smoke(tmp_path):
+    result = run_durable_recovery(
+        warmup=0.005, duration=0.02, seed=1, chain_lengths=(1, 8),
+        store_dir=str(tmp_path),
+    )
+    assert result["figure"] == "durable-recovery"
+    rows = {row["deltas"]: row for row in result["rows"]}
+    assert rows[8]["segments_raw"] == 9
+    assert rows[8]["segments_compacted"] == 2
+    assert rows[8]["disk_kb_compacted"] < rows[8]["disk_kb_raw"]
+    assert result["episode"]["converged"]
+    assert result["episode"]["transfer"] == "replay"
+    assert "Durable recovery" in result["text"]

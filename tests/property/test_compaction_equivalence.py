@@ -1,0 +1,259 @@
+"""Property suite: delta compaction is equivalent to applying the deltas.
+
+The contract behind ``compact_chain`` (and the ``compact_after`` policy
+knob): for *any* operation history checkpointed into a base plus k deltas,
+
+* ``restore_chain(base + compact(deltas))`` reproduces exactly the same
+  state as ``restore_chain(base + deltas)`` and as the live replica —
+  including deletion/recreate interleavings on the same key (B+-tree) and
+  unlink/recreate interleavings on the same path (file system), which is
+  where last-writer-wins merging with folded deletions can go wrong;
+* the compacted restore behaves identically on any subsequent command
+  sequence (so a replica recovered from a compacted durable chain replays
+  the log like any other);
+* pairwise ``merge_deltas`` equals sequential ``apply_delta`` on any
+  matching base, at every merge boundary, for both state layers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BPlusTree
+from repro.common.checkpoint import compact_chain, merge_deltas, restore_chain
+from repro.common.errors import ServiceError
+from repro.fs import MemoryFileSystem
+from repro.services.kvstore import KeyValueStoreServer
+from repro.services.netfs import NetFSServer
+
+# ----------------------------------------------------------------------
+# Shared strategy helpers
+# ----------------------------------------------------------------------
+#: A history is one base segment plus up to five delta segments: the ops of
+#: segment 0 land in the full base, each later segment becomes one delta.
+def history_of(operations, max_deltas=5):
+    return st.tuples(
+        operations,
+        st.lists(operations, min_size=2, max_size=max_deltas),
+    )
+
+
+def build_chain(service, run, base_operations, delta_batches, step=0):
+    """Drive ``service`` and checkpoint it the way the runtimes do."""
+    run(service, base_operations, step)
+    step += len(base_operations)
+    payload = service.checkpoint()
+    service.reset_delta_tracking()
+    chain = [{"kind": "full", "sequence": 0, "payload": payload}]
+    for index, operations in enumerate(delta_batches, start=1):
+        run(service, operations, step)
+        step += len(operations)
+        chain.append(
+            {
+                "kind": "delta",
+                "sequence": index,
+                "payload": service.delta_checkpoint(),
+            }
+        )
+    return chain, step
+
+
+# ----------------------------------------------------------------------
+# Key-value store service (B+-tree underneath)
+# ----------------------------------------------------------------------
+#: A deliberately small key domain so delete/recreate interleavings on the
+#: *same key* across delta boundaries are common, not rare.
+kv_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "read", "update"]),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=30,
+)
+
+
+def run_kv(server, commands, base_step=0):
+    outputs = []
+    for step, (name, key) in enumerate(commands, start=base_step):
+        args = {"key": key}
+        if name in ("insert", "update"):
+            args["value"] = bytes([step % 256, (step // 256) % 256])
+        outputs.append(server.execute(name, args))
+    return outputs
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=history_of(kv_operations), suffix=kv_operations)
+def test_kvstore_compacted_chain_equals_raw_chain_and_live(history, suffix):
+    base_operations, delta_batches = history
+    live = KeyValueStoreServer(initial_keys=6)
+    chain, step = build_chain(live, run_kv, base_operations, delta_batches)
+    compacted = compact_chain(chain)
+    assert [entry["kind"] for entry in compacted] == ["full", "delta"]
+    assert compacted[-1]["sequence"] == chain[-1]["sequence"]
+    from_raw = restore_chain(KeyValueStoreServer(), chain)
+    from_compacted = restore_chain(KeyValueStoreServer(), compacted)
+    assert (
+        from_compacted.snapshot() == from_raw.snapshot() == live.snapshot()
+    )
+    assert from_compacted.checksum() == live.checksum()
+    assert from_compacted.commands_executed == live.commands_executed
+    from_compacted.tree.validate()
+    # Behavioural equivalence on an arbitrary suffix.
+    assert run_kv(from_compacted, suffix, base_step=step) == run_kv(
+        live, suffix, base_step=step
+    )
+    assert from_compacted.snapshot() == live.snapshot()
+
+
+tree_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "upsert"]),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=history_of(tree_operations), order=st.sampled_from([4, 5, 32]))
+def test_btree_pairwise_merge_equals_sequential_apply(history, order):
+    """``merge_deltas(d_i, d_{i+1})`` == applying both, at every boundary,
+    on the raw tree layer (a low ``order`` maximises restructuring)."""
+    base_operations, delta_batches = history
+    live = BPlusTree(order=order)
+    run_tree(live, base_operations)
+    base = live.checkpoint()
+    live.clear_delta_tracking()
+    deltas = []
+    step = len(base_operations)
+    for operations in delta_batches:
+        run_tree(live, operations, base_step=step)
+        step += len(operations)
+        deltas.append(live.delta())
+    for boundary in range(1, len(deltas)):
+        merged = deltas[0]
+        for delta in deltas[1:boundary + 1]:
+            merged = merge_deltas(merged, delta)
+        # changes/deletions stay disjoint — the delta() invariant survives.
+        assert not set(dict(merged["changes"])) & set(merged["deletions"])
+        via_merge = BPlusTree(order=order).restore(base).apply_delta(merged)
+        via_apply = BPlusTree(order=order).restore(base)
+        for delta in deltas[:boundary + 1]:
+            via_apply.apply_delta(delta)
+        assert list(via_merge.items()) == list(via_apply.items())
+        via_merge.validate()
+
+
+def run_tree(tree, operations, base_step=0):
+    for step, (name, key) in enumerate(operations, start=base_step):
+        value = bytes([step % 256])
+        try:
+            if name == "delete":
+                tree.delete(key)
+            else:
+                getattr(tree, name)(key, value)
+        except ServiceError:
+            pass
+    return tree
+
+
+# ----------------------------------------------------------------------
+# NetFS service (MemoryFileSystem underneath, fd table included)
+# ----------------------------------------------------------------------
+#: Few paths, so unlink/recreate of the *same path* (a fresh inode each
+#: time) interleaves across delta boundaries; fd churn keeps the shared
+#: descriptor table honest through merges.
+fs_paths = st.sampled_from(["/a", "/b", "/d", "/d/x", "/d/y"])
+fs_calls = st.one_of(
+    st.tuples(
+        st.sampled_from(
+            [
+                "mkdir", "mknod", "create", "unlink", "rmdir", "open",
+                "opendir", "write", "read", "lstat", "readdir", "access",
+                "utimens",
+            ]
+        ),
+        fs_paths,
+    ),
+    st.tuples(st.just("release"), st.integers(min_value=3, max_value=12)),
+)
+fs_operations = st.lists(fs_calls, max_size=30)
+
+
+def run_netfs(server, commands, base_step=0):
+    outputs = []
+    for step, (name, operand) in enumerate(commands, start=base_step):
+        if name == "release":
+            args = {"fd": operand}
+        else:
+            args = {"path": operand, "now": float(step)}
+        if name == "write":
+            args["data"] = bytes([step % 256]) * 3
+            args["offset"] = step % 5
+        if name == "utimens":
+            args["atime"] = float(step)
+            args["mtime"] = float(step) + 0.5
+        response = server.apply(
+            type("C", (), {"uid": step, "name": name, "args": args})
+        )
+        outputs.append((response.value, response.error))
+    return outputs
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=history_of(fs_operations), suffix=fs_operations)
+def test_netfs_compacted_chain_equals_raw_chain_and_live(history, suffix):
+    base_operations, delta_batches = history
+    live = NetFSServer()
+    chain, step = build_chain(live, run_netfs, base_operations, delta_batches)
+    compacted = compact_chain(chain)
+    assert [entry["kind"] for entry in compacted] == ["full", "delta"]
+    from_raw = restore_chain(NetFSServer(), chain)
+    from_compacted = restore_chain(NetFSServer(), compacted)
+    assert (
+        from_compacted.snapshot() == from_raw.snapshot() == live.snapshot()
+    )
+    assert (
+        from_compacted.fs.open_descriptors()
+        == from_raw.fs.open_descriptors()
+        == live.fs.open_descriptors()
+    )
+    assert from_compacted.commands_executed == live.commands_executed
+    # Behavioural equivalence on an arbitrary suffix — timestamps, error
+    # paths and descriptor allocation all have to line up.
+    assert run_netfs(from_compacted, suffix, base_step=step) == run_netfs(
+        live, suffix, base_step=step
+    )
+    assert from_compacted.snapshot() == live.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(history=history_of(fs_operations))
+def test_memfs_pairwise_merge_equals_sequential_apply(history):
+    """Raw file-system layer: merged deltas == sequentially applied ones,
+    at every merge boundary (attr-only records layered over full ones,
+    dead inodes folded)."""
+    base_operations, delta_batches = history
+    live = NetFSServer()
+    run_netfs(live, base_operations)
+    base = live.fs.checkpoint()
+    live.fs.clear_delta_tracking()
+    deltas = []
+    step = len(base_operations)
+    for operations in delta_batches:
+        run_netfs(live, operations, base_step=step)
+        step += len(operations)
+        deltas.append(live.fs.delta_checkpoint())
+    for boundary in range(1, len(deltas)):
+        merged = deltas[0]
+        for delta in deltas[1:boundary + 1]:
+            merged = MemoryFileSystem.merge_deltas(merged, delta)
+        assert not set(merged["changed"]) & set(merged["removed"])
+        via_merge = MemoryFileSystem()
+        via_merge.restore(base)
+        via_merge.apply_delta(merged)
+        via_apply = MemoryFileSystem()
+        via_apply.restore(base)
+        for delta in deltas[:boundary + 1]:
+            via_apply.apply_delta(delta)
+        assert via_merge.tree_snapshot() == via_apply.tree_snapshot()
+        assert via_merge.open_descriptors() == via_apply.open_descriptors()

@@ -9,10 +9,12 @@ from repro.common.checkpoint import (
     TIGHT_COMPRESSION,
     CheckpointPolicy,
     CompressionModel,
+    compact_chain,
     estimate_checkpoint_size,
+    merge_deltas,
     restore_chain,
 )
-from repro.common.errors import ConfigurationError
+from repro.common.errors import CheckpointError, ConfigurationError
 
 
 class TestValidation:
@@ -168,14 +170,17 @@ class TestRestoreChain:
         )
         assert service.applied == [("full", "base"), ("delta", "d1"), ("delta", "d2")]
 
-    def test_rejects_empty_and_malformed_chains(self):
-        with pytest.raises(ConfigurationError):
+    def test_rejects_empty_and_malformed_chains_with_typed_error(self):
+        """Malformed chains raise :class:`CheckpointError` — the typed error
+        recovery negotiation catches to fall back to another path — not a
+        generic configuration complaint."""
+        with pytest.raises(CheckpointError):
             restore_chain(self.FakeService(), [])
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(CheckpointError):
             restore_chain(
                 self.FakeService(), [{"kind": "delta", "payload": "d"}]
             )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(CheckpointError):
             restore_chain(
                 self.FakeService(),
                 [
@@ -183,6 +188,94 @@ class TestRestoreChain:
                     {"kind": "full", "payload": "b"},
                 ],
             )
+
+    def test_malformed_chain_leaves_the_service_untouched(self):
+        """Validation runs before any restore/apply call, so a failed
+        negotiation attempt does not corrupt the service it probed."""
+        service = self.FakeService()
+        with pytest.raises(CheckpointError):
+            restore_chain(service, [{"kind": "delta", "payload": "d"}])
+        assert service.applied == []
+        with pytest.raises(CheckpointError):
+            restore_chain(
+                service,
+                [
+                    {"kind": "full", "payload": "a"},
+                    {"kind": "delta", "payload": "d"},
+                    {"kind": "full", "payload": "b"},
+                ],
+            )
+        assert service.applied == []
+
+
+class TestCompaction:
+    def test_compact_after_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, compact_after=1)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, compact_after=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, compact_after=2.5)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_messages=10, compact_after=True)
+        assert CheckpointPolicy(every_messages=10).compact_after is None
+
+    def test_compact_due_boundary(self):
+        policy = CheckpointPolicy(every_messages=10, compact_after=3)
+        assert not policy.compact_due(2)
+        assert policy.compact_due(3)
+        assert policy.compact_due(4)
+        disabled = CheckpointPolicy(every_messages=10)
+        assert not disabled.compact_due(10**6)
+
+    def test_compact_chain_short_chains_are_copied_not_merged(self):
+        chain = [
+            {"kind": "full", "sequence": 1, "payload": "base"},
+            {"kind": "delta", "sequence": 2,
+             "payload": {"order": 4, "changes": [(1, b"a")], "deletions": []}},
+        ]
+        compacted = compact_chain(chain)
+        assert compacted == chain
+        assert compacted is not chain  # a new list, input never mutated
+
+    def test_compact_chain_merges_deltas_onto_the_last_cut(self):
+        chain = [
+            {"kind": "full", "sequence": 1, "payload": "base"},
+            {"kind": "delta", "sequence": 2,
+             "payload": {"order": 4, "changes": [(1, b"a"), (2, b"b")],
+                         "deletions": [9]}},
+            {"kind": "delta", "sequence": 3,
+             "payload": {"order": 4, "changes": [(2, b"B"), (9, b"back")],
+                         "deletions": [1]}},
+        ]
+        compacted = compact_chain(chain)
+        assert [entry["kind"] for entry in compacted] == ["full", "delta"]
+        assert compacted[0] is chain[0]  # base reused untouched
+        assert compacted[1]["sequence"] == 3  # stamped with the tip cut
+        merged = compacted[1]["payload"]
+        # Last-writer-wins with deletions folded: 1 written-then-deleted,
+        # 9 deleted-then-recreated, 2 overwritten.
+        assert merged["changes"] == [(2, b"B"), (9, b"back")]
+        assert merged["deletions"] == [1]
+        # The original chain is untouched.
+        assert len(chain) == 3
+
+    def test_compact_chain_rejects_malformed_chains(self):
+        with pytest.raises(CheckpointError):
+            compact_chain([])
+        with pytest.raises(CheckpointError):
+            compact_chain([{"kind": "delta", "sequence": 1, "payload": {}}])
+
+    def test_merge_deltas_rejects_mismatched_shapes(self):
+        tree_delta = {"order": 4, "changes": [], "deletions": []}
+        fs_delta = {"changed": {}, "removed": [], "fd_table": {},
+                    "next_fd": 3, "next_ino": 1}
+        with pytest.raises(CheckpointError):
+            merge_deltas(tree_delta, fs_delta)
+        with pytest.raises(CheckpointError):
+            merge_deltas({"bogus": 1}, {"bogus": 2})
+        with pytest.raises(CheckpointError):
+            merge_deltas(None, tree_delta)
 
 
 class TestReplayable:
