@@ -1,0 +1,504 @@
+"""Benchmark baseline runner (ISSUE 6): the committed performance trajectory.
+
+Measures the threaded P-SMR runtime end to end — wall-clock, real threads —
+and emits ``BENCH_baseline.json``, the file every later optimisation is
+judged against.  Each workload is run twice on identical drivers:
+
+* **before** — ``delivery_batch_size=1``: the legacy loop, one lock
+  round-trip per delivered command, one response hand-off per execution;
+* **after** — batched delivery: workers drain up to ``--batch`` commands
+  per wakeup and flush responses in batches.
+
+The speedup recorded per workload is therefore a same-machine, same-run
+ratio; CI compares ratios, never absolute numbers, so the gate survives
+machine changes.  Workload names mirror the paper figures they are shaped
+after: ``fig3_independent`` (read-only, uniform keys — pure parallel mode)
+and ``fig7_skew`` (50/50 read/update, zipfian keys).
+
+All timing uses ``time.perf_counter()`` — never the wall clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/baseline.py --out BENCH_baseline.json
+    PYTHONPATH=src python benchmarks/baseline.py --smoke --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/baseline.py --smoke --check BENCH_baseline.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+
+from repro.common import codec
+from repro.common.checkpoint import CheckpointPolicy
+from repro.core.command import Command
+from repro.metrics.recorders import LatencyRecorder
+from repro.runtime import ThreadedPSMRCluster, check_linearizable
+from repro.runtime.linearizability import HistoryRecorder
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+from repro.workload import KVWorkloadGenerator, READ_ONLY_MIX, skewed_update_mix
+
+SCHEMA_VERSION = 1
+
+#: Workloads measured by the baseline, named after the paper figures whose
+#: shape they reproduce on the threaded runtime.
+WORKLOADS = {
+    "fig3_independent": {
+        "mix": dict(READ_ONLY_MIX),
+        "distribution": "uniform",
+        "zipf_theta": 1.0,
+    },
+    "fig7_skew": {
+        "mix": skewed_update_mix(),
+        "distribution": "zipfian",
+        "zipf_theta": 1.0,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Workload driver (threaded runtime, pipelined clients)
+# ----------------------------------------------------------------------
+def _client_loop(cluster, generator, ops, window, recorder, start_barrier, errors):
+    try:
+        client = cluster.client()
+        inflight = deque()
+        start_barrier.wait()
+        for _ in range(ops):
+            name, args, _size = generator.next_invocation()
+            submitted = time.perf_counter()
+            inflight.append((submitted, client.invoke_async(name, **args)))
+            if len(inflight) >= window:
+                submitted, handle = inflight.popleft()
+                handle.result(timeout=60.0)
+                recorder.record(time.perf_counter() - submitted)
+        while inflight:
+            submitted, handle = inflight.popleft()
+            handle.result(timeout=60.0)
+            recorder.record(time.perf_counter() - submitted)
+    except Exception as exc:  # pragma: no cover - failure reporting
+        errors.append(exc)
+
+
+def run_threaded_workload(spec, batch_size, *, ops_per_client, clients, window,
+                          mpl, replicas, key_space, seed, warmup_ops):
+    """One workload arm; returns the measurement record."""
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=key_space),
+        mpl=mpl,
+        num_replicas=replicas,
+        barrier_timeout=60.0,
+        delivery_batch_size=batch_size,
+    )
+    recorder = LatencyRecorder()
+    with cluster:
+        def launch(ops, rec):
+            errors = []
+            barrier = threading.Barrier(clients + 1)
+            threads = [
+                threading.Thread(
+                    target=_client_loop,
+                    args=(
+                        cluster,
+                        KVWorkloadGenerator(
+                            mix=spec["mix"],
+                            key_space=key_space,
+                            distribution=spec["distribution"],
+                            zipf_theta=spec["zipf_theta"],
+                            seed=seed + 100 + index,
+                        ),
+                        ops,
+                        window,
+                        rec,
+                        barrier,
+                        errors,
+                    ),
+                )
+                for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            if errors:
+                raise errors[0]
+            return elapsed
+
+        if warmup_ops:
+            launch(warmup_ops, LatencyRecorder())
+        elapsed = launch(ops_per_client, recorder)
+        stats = cluster.delivery_batch_stats()
+    total_ops = ops_per_client * clients
+    summary = recorder.summary()
+    return {
+        "batch_size": batch_size,
+        "ops": total_ops,
+        "elapsed_s": elapsed,
+        "throughput_ops": total_ops / elapsed if elapsed > 0 else 0.0,
+        "latency_mean_s": summary["mean"],
+        "latency_p50_s": summary["p50"],
+        "latency_p99_s": summary["p99"],
+        "avg_delivery_batch": stats["avg_batch"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / durability section
+# ----------------------------------------------------------------------
+def run_checkpoint_section(*, ops, key_space, batch_size, seed):
+    """Durable-checkpoint cost and restart-from-disk latency, batched runtime."""
+    policy = CheckpointPolicy(every_messages=max(50, ops // 8),
+                              full_every=3, compact_after=4)
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as store_dir:
+        cluster = ThreadedPSMRCluster(
+            spec=KVSTORE_SPEC,
+            service_factory=lambda: KeyValueStoreServer(initial_keys=key_space),
+            mpl=2,
+            num_replicas=2,
+            barrier_timeout=60.0,
+            delivery_batch_size=batch_size,
+            checkpoint_policy=policy,
+            checkpoint_poll_interval=0.001,
+            store_dir=store_dir,
+        )
+        with cluster:
+            client = cluster.client()
+            generator = KVWorkloadGenerator(
+                mix=skewed_update_mix(), key_space=key_space,
+                distribution="uniform", seed=seed + 7,
+            )
+            inflight = deque()
+            for _ in range(ops):
+                name, args, _size = generator.next_invocation()
+                inflight.append(client.invoke_async(name, **args))
+                if len(inflight) >= 32:
+                    inflight.popleft().result(timeout=60.0)
+            while inflight:
+                inflight.popleft().result(timeout=60.0)
+            cluster.periodic_checkpoint()
+            cluster.wait_for_quiescence()
+            store_bytes = sum(
+                store.disk_bytes() for store in cluster.stores.values()
+            )
+            segments = sum(
+                store.segment_count() for store in cluster.stores.values()
+            )
+            cluster.crash_replica(1)
+            started = time.perf_counter()
+            cluster.restart_replica_from_disk(1)
+            restart_latency = time.perf_counter() - started
+            cluster.wait_for_quiescence()
+            converged = (
+                cluster.replicas[0].service.checksum()
+                == cluster.replicas[1].service.checksum()
+            )
+            return {
+                "ops": ops,
+                "checkpoints_taken": cluster.checkpoints_taken,
+                "compactions": cluster.compactions,
+                "checkpoint_bytes": dict(cluster.checkpoint_bytes),
+                "store_disk_bytes": store_bytes,
+                "store_segments": segments,
+                "restart_from_disk_s": restart_latency,
+                "restart_converged": converged,
+                "marker_boundary_violations": cluster.marker_boundary_violations,
+            }
+
+
+# ----------------------------------------------------------------------
+# Codec microbenchmark section
+# ----------------------------------------------------------------------
+def _time_us(fn, repeat=30):
+    started = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - started) / repeat * 1e6
+
+
+def run_codec_section(items=5000):
+    full = {
+        "tree": {"order": 64, "items": [(key * 3, b"\x00" * 8) for key in range(items)]},
+        "commands_executed": items,
+    }
+    delta = {
+        "order": 64,
+        "changes": [(key * 3, bytes([key % 251]) * 8) for key in range(items // 5)],
+        "deletions": list(range(0, items // 5, 2)),
+        "commands_executed": items + items // 5,
+    }
+    command = Command(
+        uid=(12, 34567), name="update",
+        args={"key": 123456789, "value": b"\x01" * 8},
+        destinations=frozenset({3}),
+    )
+    section = {}
+    for name, payload in (("full_checkpoint", full), ("delta_checkpoint", delta)):
+        binary = codec.dumps(payload, "binary")
+        pickled = codec.dumps(payload, "pickle")
+        assert codec.decode(binary) == codec.decode(pickled) == payload
+        section[name] = {
+            "binary_bytes": len(binary),
+            "pickle_bytes": len(pickled),
+            "bytes_ratio": len(binary) / len(pickled),
+            "binary_encode_us": _time_us(lambda p=payload: codec.dumps(p, "binary")),
+            "pickle_encode_us": _time_us(lambda p=payload: codec.dumps(p, "pickle")),
+            "binary_decode_us": _time_us(lambda b=binary: codec.decode(b)),
+            "pickle_decode_us": _time_us(lambda b=pickled: codec.decode(b)),
+        }
+    wire_binary = codec.encode_command(command)
+    from repro.runtime.multicast import encode_wire
+
+    wire_pickle = encode_wire(command, "pickle")
+    section["command_wire"] = {
+        "binary_bytes": len(wire_binary),
+        "pickle_bytes": len(wire_pickle),
+        "round_trips": codec.decode_command(wire_binary) == command,
+    }
+    return section
+
+
+# ----------------------------------------------------------------------
+# Linearizability section
+# ----------------------------------------------------------------------
+def run_linearizability_section(batch_size):
+    """Small concurrent history on the batched runtime, checked exactly."""
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=4),
+        mpl=3,
+        num_replicas=2,
+        barrier_timeout=60.0,
+        delivery_batch_size=batch_size,
+    )
+    recorder = HistoryRecorder()
+    with cluster:
+        barrier = threading.Barrier(3)
+
+        def worker(client_index):
+            client = cluster.client()
+            barrier.wait()
+            for step in range(5):
+                key = step % 3
+                if (client_index + step) % 2 == 0:
+                    recorder.timed_call(
+                        client_index, "update",
+                        {"key": key, "value": bytes([client_index + 1])},
+                        lambda k=key, c=client_index: client.invoke(
+                            "update", key=k, value=bytes([c + 1])
+                        ).error,
+                    )
+                else:
+                    recorder.timed_call(
+                        client_index, "read", {"key": key},
+                        lambda k=key: client.invoke("read", key=k).value,
+                    )
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        violations = cluster.marker_boundary_violations
+    initial = {key: b"\x00" * 8 for key in range(4)}
+    ok = check_linearizable(recorder.operations, initial_state=initial)
+    return {
+        "operations": len(recorder.operations),
+        "linearizable": bool(ok),
+        "marker_boundary_violations": violations,
+    }
+
+
+# ----------------------------------------------------------------------
+# Orchestration, schema, regression gate
+# ----------------------------------------------------------------------
+def _scale(args):
+    # Two pipelined clients saturate the cluster without oversubscribing
+    # the host: more client threads just steal cycles from the workers and
+    # flatten the before/after contrast on small machines.  Smoke mode cuts
+    # the key space and op count but keeps the measurement window long
+    # enough (thousands of ops per arm) for the speedup ratio to be stable.
+    return {
+        "ops_per_client": 2000 if args.smoke else 6000,
+        "clients": 2,
+        "window": args.window,
+        "mpl": args.mpl,
+        "replicas": 2,
+        "key_space": 2000 if args.smoke else 20000,
+        "seed": args.seed,
+        "warmup_ops": 200 if args.smoke else 400,
+    }
+
+
+def _measure_workload_pair(name, args, scale):
+    spec = WORKLOADS[name]
+    before = run_threaded_workload(spec, 1, **scale)
+    after = run_threaded_workload(spec, args.batch, **scale)
+    speedup = (
+        after["throughput_ops"] / before["throughput_ops"]
+        if before["throughput_ops"] > 0 else 0.0
+    )
+    print(
+        f"{name}: before {before['throughput_ops']:.0f} ops/s, "
+        f"after {after['throughput_ops']:.0f} ops/s "
+        f"(x{speedup:.2f}, avg batch {after['avg_delivery_batch']:.1f}, "
+        f"p99 {after['latency_p99_s'] * 1e3:.2f} ms)",
+        file=sys.stderr,
+    )
+    return {"before": before, "after": after, "speedup": speedup}
+
+
+def run_baseline(args):
+    scale = _scale(args)
+    workloads = {
+        name: _measure_workload_pair(name, args, scale) for name in WORKLOADS
+    }
+    checkpoint = run_checkpoint_section(
+        ops=300 if args.smoke else 2000,
+        key_space=scale["key_space"],
+        batch_size=args.batch,
+        seed=args.seed,
+    )
+    return {
+        "version": SCHEMA_VERSION,
+        "config": {
+            "smoke": bool(args.smoke),
+            "batch": args.batch,
+            "window": args.window,
+            "mpl": args.mpl,
+            "seed": args.seed,
+            "ops_per_client": scale["ops_per_client"],
+            "clients": scale["clients"],
+            "key_space": scale["key_space"],
+        },
+        "workloads": workloads,
+        "checkpoint": checkpoint,
+        "codec": run_codec_section(items=1000 if args.smoke else 5000),
+        "linearizability": run_linearizability_section(args.batch),
+    }
+
+
+def validate_schema(document):
+    """Raise ``ValueError`` unless ``document`` has the baseline shape."""
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} must be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    if not isinstance(document, dict):
+        raise ValueError("baseline document must be an object")
+    if document.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported baseline version {document.get('version')!r}")
+    need(document, "config", dict, "$")
+    workloads = need(document, "workloads", dict, "$")
+    for name in WORKLOADS:
+        workload = need(workloads, name, dict, "workloads")
+        for arm in ("before", "after"):
+            record = need(workload, arm, dict, f"workloads.{name}")
+            for field in (
+                "throughput_ops", "latency_p50_s", "latency_p99_s",
+                "latency_mean_s", "elapsed_s", "avg_delivery_batch",
+            ):
+                need(record, field, (int, float), f"workloads.{name}.{arm}")
+            need(record, "ops", int, f"workloads.{name}.{arm}")
+            need(record, "batch_size", int, f"workloads.{name}.{arm}")
+        need(workload, "speedup", (int, float), f"workloads.{name}")
+    checkpoint = need(document, "checkpoint", dict, "$")
+    for field in ("store_disk_bytes", "restart_from_disk_s",
+                  "marker_boundary_violations", "checkpoints_taken"):
+        need(checkpoint, field, (int, float), "checkpoint")
+    need(checkpoint, "checkpoint_bytes", dict, "checkpoint")
+    codec_section = need(document, "codec", dict, "$")
+    for payload in ("full_checkpoint", "delta_checkpoint"):
+        record = need(codec_section, payload, dict, "codec")
+        need(record, "binary_bytes", int, f"codec.{payload}")
+        need(record, "pickle_bytes", int, f"codec.{payload}")
+    linearizability = need(document, "linearizability", dict, "$")
+    if need(linearizability, "linearizable", bool, "linearizability") is not True:
+        raise ValueError("baseline run was not linearizable")
+    if checkpoint["marker_boundary_violations"] != 0:
+        raise ValueError("marker cuts did not land on batch boundaries")
+    return document
+
+
+def check_against(document, committed_path, tolerance=0.8, remeasure=None):
+    """CI regression gate: measured speedups vs the committed baseline.
+
+    Absolute throughput is machine-dependent, so the gate compares the
+    same-run before/after *ratio* against the committed ratio: a change
+    that erodes the batching win by more than ``1 - tolerance`` (default
+    20%) fails.  A workload below its floor is re-measured once before
+    failing — single-run ratios on shared CI runners are noisy, and one
+    retry separates real regressions from scheduler jitter.
+    """
+    with open(committed_path, "r", encoding="utf-8") as handle:
+        committed = validate_schema(json.load(handle))
+    failures = []
+    for name in WORKLOADS:
+        measured = document["workloads"][name]["speedup"]
+        reference = committed["workloads"][name]["speedup"]
+        floor = reference * tolerance
+        if measured < floor and remeasure is not None:
+            print(f"gate {name}: x{measured:.2f} below floor, re-measuring once",
+                  file=sys.stderr)
+            measured = max(measured, remeasure(name)["speedup"])
+        status = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"gate {name}: measured x{measured:.2f} vs committed x{reference:.2f} "
+            f"(floor x{floor:.2f}) -> {status}",
+            file=sys.stderr,
+        )
+        if measured < floor:
+            failures.append(name)
+    if failures:
+        raise SystemExit(
+            f"throughput regression >20% on: {', '.join(failures)}"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the baseline JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced configuration for CI")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed baseline (CI gate)")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="delivery batch size of the 'after' arm")
+    parser.add_argument("--window", type=int, default=32,
+                        help="pipelined invocations per client")
+    parser.add_argument("--mpl", type=int, default=2,
+                        help="worker threads per replica")
+    parser.add_argument("--seed", type=int, default=20260808)
+    args = parser.parse_args(argv)
+
+    document = validate_schema(run_baseline(args))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    if args.check:
+        check_against(
+            document, args.check,
+            remeasure=lambda name: _measure_workload_pair(name, args, _scale(args)),
+        )
+    return document
+
+
+if __name__ == "__main__":
+    main()

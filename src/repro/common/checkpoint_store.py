@@ -15,7 +15,8 @@ Layout — one directory per replica::
 
 Each chain entry is serialised into its own **segment file**: an 20-byte
 header (magic, payload length, CRC-32 of the payload) followed by the
-pickled payload.  The **manifest** names the chain in order — segment file,
+encoded payload (:mod:`repro.common.codec` binary format by default, with
+per-segment auto-detection so legacy pickled segments keep loading).  The **manifest** names the chain in order — segment file,
 kind, sequence, length and checksum per line, each line carrying its own
 CRC — and is the single commit point: a persist cycle writes and fsyncs the
 new segment first, then writes ``MANIFEST.tmp``, fsyncs it, and atomically
@@ -41,11 +42,11 @@ for the chain suffix.
 
 import json
 import os
-import pickle
 import struct
 import threading
 import zlib
 
+from repro.common import codec as _codec
 from repro.common.errors import CheckpointError
 
 #: Segment header: magic, payload length, CRC-32 of the payload bytes.
@@ -115,11 +116,18 @@ class CheckpointStore:
     ``open`` for every *write* (segments, manifest tmp) — the fault-
     injection tests pass a wrapper that dies after N bytes, sweeping N
     across a whole persist cycle; reads always use the real ``open``.
+
+    ``codec`` names the segment payload serialisation: ``"binary"`` (the
+    compact tagged format of :mod:`repro.common.codec`, the default) or
+    ``"pickle"`` (``pickle.HIGHEST_PROTOCOL``).  Reads auto-detect the
+    format per segment, so a store written by either codec — including
+    protocol-4 pickles from older releases — loads unchanged.
     """
 
-    def __init__(self, directory, opener=None):
+    def __init__(self, directory, opener=None, codec="binary"):
         self.directory = str(directory)
         self._opener = opener if opener is not None else open
+        self.codec = codec
         os.makedirs(self.directory, exist_ok=True)
         self._records = self._read_manifest()
         self._next_file_id = self._scan_next_file_id()
@@ -178,7 +186,7 @@ class CheckpointStore:
             return {
                 "kind": record["kind"],
                 "sequence": record["sequence"],
-                "payload": pickle.loads(payload),
+                "payload": _codec.decode(payload),
             }
         except Exception:
             return None
@@ -229,7 +237,7 @@ class CheckpointStore:
 
     def _write_segment(self, entry):
         """Serialise one chain entry into a fresh segment file."""
-        payload = pickle.dumps(entry["payload"], protocol=4)
+        payload = _codec.dumps(entry["payload"], self.codec)
         name = f"{_SEGMENT_PREFIX}{self._next_file_id:08d}{_SEGMENT_SUFFIX}"
         self._next_file_id += 1
         header = _SEGMENT_HEADER.pack(_SEGMENT_MAGIC, len(payload), _crc(payload))

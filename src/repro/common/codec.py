@@ -1,0 +1,391 @@
+"""Compact binary codec for commands and checkpoint payloads.
+
+The hot path serialises two kinds of values: client :class:`Command`
+objects crossing the (simulated) wire, and checkpoint payloads going into
+:class:`~repro.common.checkpoint_store.CheckpointStore` segments.  Both are
+built from a small closed vocabulary — ints (including arbitrary-precision
+counters), bytes values, strings, dicts, lists/tuples of pairs, sets and
+frozensets — which a tagged binary format encodes far more compactly than a
+generic pickle, and which bulk ``struct`` fast paths encode in large
+column-packed runs instead of per-item opcodes:
+
+* a list of ``(int, bytes)`` pairs (B+-tree items, delta ``changes``) is
+  packed as one key column plus one value blob;
+* a list of ints (delta ``deletions``) is packed as one ``struct`` run.
+
+Anything outside the vocabulary falls back to an embedded pickle blob
+(``pickle.HIGHEST_PROTOCOL``), so the codec never rejects a payload.
+
+Framing and backward compatibility: every encoded value starts with the
+magic byte ``0xC3`` followed by a format version.  ``0xC3`` is not a valid
+first byte of any pickle stream (protocol >= 2 starts with ``0x80``;
+protocols 0/1 start with ASCII opcodes), so :func:`decode` auto-detects the
+format — segment files written by older releases with ``pickle.dumps(...,
+protocol=4)`` still load through the same entry point.
+"""
+
+import pickle
+import struct
+
+from repro.common.errors import CheckpointError
+
+#: First byte of every codec stream.  Deliberately not a valid pickle
+#: leading byte so :func:`decode` can auto-detect legacy pickle payloads.
+MAGIC = 0xC3
+_VERSION = 1
+_HEADER = bytes((MAGIC, _VERSION))
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+# Value tags.  Single ASCII bytes keep the stream debuggable in a hexdump.
+_T_NONE = ord("N")
+_T_TRUE = ord("T")
+_T_FALSE = ord("F")
+_T_INT64 = ord("q")
+_T_BIGINT = ord("I")
+_T_FLOAT = ord("f")
+_T_STR = ord("s")
+_T_BYTES = ord("b")
+_T_BYTEARRAY = ord("a")
+_T_LIST = ord("l")
+_T_TUPLE = ord("t")
+_T_SET = ord("S")
+_T_FROZENSET = ord("Z")
+_T_DICT = ord("d")
+_T_PICKLE = ord("P")
+#: Bulk fast paths (see module docstring).
+_T_INT_RUN = ord("R")
+_T_PAIR_RUN = ord("K")
+
+
+def _is_i64(value):
+    return type(value) is int and _I64_MIN <= value <= _I64_MAX
+
+
+#: Column widths tried in order for int runs: 1, 2, 4 or 8 signed bytes.
+_WIDTHS = ((1, "b"), (2, "h"), (4, "i"), (8, "q"))
+
+
+def _pack_ints(values):
+    """Pack an int column at the narrowest width that fits every value."""
+    lo, hi = min(values), max(values)
+    for width, fmt in _WIDTHS:
+        if -(1 << (8 * width - 1)) <= lo and hi < (1 << (8 * width - 1)):
+            break
+    return bytes((width,)) + struct.pack(f">{len(values)}{fmt}", *values)
+
+
+def _unpack_ints(buf, offset, count):
+    width = buf[offset]
+    fmt = {1: "b", 2: "h", 4: "i", 8: "q"}[width]
+    values = struct.unpack_from(f">{count}{fmt}", buf, offset + 1)
+    return values, offset + 1 + width * count
+
+
+def _int_run(values):
+    """Column-pack a list of int64s, or ``None`` when ineligible."""
+    if not values or not all(_is_i64(v) for v in values):
+        return None
+    return _pack_ints(values)
+
+
+#: Value-column modes of a pair run.
+_PAIRS_VARIED = 0    # per-pair length column + concatenated blobs
+_PAIRS_UNIFORM = 1   # one shared length + concatenated blobs
+_PAIRS_CONSTANT = 2  # every value equal: one length + one blob
+
+
+def _pair_run(values):
+    """Column-pack ``[(int64, bytes), ...]`` pairs, or ``None`` when ineligible.
+
+    Keys become one packed int column at the narrowest width that fits.
+    Values pick the cheapest of three modes: one shared blob when every
+    value is equal (common with fixed fill values), one shared length when
+    sizes are uniform, a length column otherwise.  This is the B+-tree
+    ``items``/``changes`` shape, and where the codec's size advantage over
+    pickle comes from.
+    """
+    if not values:
+        return None
+    keys = []
+    blobs = []
+    for pair in values:
+        if type(pair) is not tuple or len(pair) != 2:
+            return None
+        key, blob = pair
+        if not _is_i64(key) or type(blob) is not bytes:
+            return None
+        keys.append(key)
+        blobs.append(blob)
+    first = blobs[0]
+    if all(blob == first for blob in blobs):
+        column = bytes((_PAIRS_CONSTANT,)) + _U32.pack(len(first)) + first
+    elif all(len(blob) == len(first) for blob in blobs):
+        column = b"".join(
+            (bytes((_PAIRS_UNIFORM,)), _U32.pack(len(first)), *blobs)
+        )
+    else:
+        column = b"".join(
+            (
+                bytes((_PAIRS_VARIED,)),
+                struct.pack(f">{len(blobs)}I", *(len(blob) for blob in blobs)),
+                *blobs,
+            )
+        )
+    return _pack_ints(keys) + column
+
+
+def _encode_value(value, out):
+    kind = type(value)
+    if value is None:
+        out.append(_T_NONE)
+    elif kind is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_T_INT64)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes(value.bit_length() // 8 + 1, "big", signed=True)
+            out.append(_T_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif kind is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif kind is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif kind is bytes:
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif kind is bytearray:
+        out.append(_T_BYTEARRAY)
+        out += _U32.pack(len(value))
+        out += value
+    elif kind is list or kind is tuple:
+        run = _int_run(value)
+        if run is not None:
+            out.append(_T_INT_RUN)
+            out.append(_T_LIST if kind is list else _T_TUPLE)
+            out += _U32.pack(len(value))
+            out += run
+            return
+        run = _pair_run(value)
+        if run is not None:
+            out.append(_T_PAIR_RUN)
+            out.append(_T_LIST if kind is list else _T_TUPLE)
+            out += _U32.pack(len(value))
+            out += run
+            return
+        out.append(_T_LIST if kind is list else _T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif kind is set or kind is frozenset:
+        out.append(_T_SET if kind is set else _T_FROZENSET)
+        out += _U32.pack(len(value))
+        try:
+            members = sorted(value)  # deterministic bytes when orderable
+        except TypeError:
+            members = list(value)
+        for item in members:
+            _encode_value(item, out)
+    elif kind is dict:
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    else:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(_T_PICKLE)
+        out += _U32.pack(len(raw))
+        out += raw
+
+
+def _decode_value(buf, offset):
+    tag = buf[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT64:
+        return _I64.unpack_from(buf, offset)[0], offset + 8
+    if tag == _T_BIGINT:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = bytes(buf[offset:offset + length])
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(buf, offset)[0], offset + 8
+    if tag in (_T_STR, _T_BYTES, _T_BYTEARRAY):
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = bytes(buf[offset:offset + length])
+        offset += length
+        if tag == _T_STR:
+            return raw.decode("utf-8"), offset
+        if tag == _T_BYTES:
+            return raw, offset
+        return bytearray(raw), offset
+    if tag == _T_INT_RUN:
+        shape = buf[offset]
+        (count,) = _U32.unpack_from(buf, offset + 1)
+        offset += 5
+        values, offset = _unpack_ints(buf, offset, count)
+        values = list(values)
+        return (values if shape == _T_LIST else tuple(values)), offset
+    if tag == _T_PAIR_RUN:
+        shape = buf[offset]
+        (count,) = _U32.unpack_from(buf, offset + 1)
+        offset += 5
+        keys, offset = _unpack_ints(buf, offset, count)
+        mode = buf[offset]
+        offset += 1
+        if mode == _PAIRS_CONSTANT:
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            blob = bytes(buf[offset:offset + length])
+            offset += length
+            blobs = [blob] * count
+        elif mode == _PAIRS_UNIFORM:
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            blobs = []
+            for _ in range(count):
+                blobs.append(bytes(buf[offset:offset + length]))
+                offset += length
+        else:
+            lengths = struct.unpack_from(f">{count}I", buf, offset)
+            offset += 4 * count
+            blobs = []
+            for length in lengths:
+                blobs.append(bytes(buf[offset:offset + length]))
+                offset += length
+        pairs = list(zip(keys, blobs))
+        return (pairs if shape == _T_LIST else tuple(pairs)), offset
+    if tag in (_T_LIST, _T_TUPLE):
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(buf, offset)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), offset
+    if tag in (_T_SET, _T_FROZENSET):
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(buf, offset)
+            items.append(item)
+        return (set(items) if tag == _T_SET else frozenset(items)), offset
+    if tag == _T_DICT:
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_value(buf, offset)
+            value, offset = _decode_value(buf, offset)
+            mapping[key] = value
+        return mapping, offset
+    if tag == _T_PICKLE:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = bytes(buf[offset:offset + length])
+        return pickle.loads(raw), offset + length
+    raise CheckpointError(f"unknown codec tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def encode(value):
+    """Serialise ``value`` into the codec's binary format."""
+    out = bytearray(_HEADER)
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def decode(data):
+    """Deserialise bytes produced by :func:`encode` *or* by pickle.
+
+    Auto-detects the format from the first byte, so payloads written by
+    older releases as raw pickle (any protocol) keep loading.
+    """
+    if len(data) >= 2 and data[0] == MAGIC:
+        if data[1] != _VERSION:
+            raise CheckpointError(f"unsupported codec version {data[1]}")
+        value, offset = _decode_value(memoryview(data), 2)
+        if offset != len(data):
+            raise CheckpointError(
+                f"trailing garbage after codec stream ({len(data) - offset} bytes)"
+            )
+        return value
+    return pickle.loads(data)
+
+
+def dumps(value, codec="binary"):
+    """Serialise with the named codec: ``"binary"`` or ``"pickle"``.
+
+    Both outputs round-trip through :func:`decode` (detection is by leading
+    byte), so callers can switch codecs without a migration step.
+    """
+    if codec == "binary":
+        return encode(value)
+    if codec == "pickle":
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    raise CheckpointError(f"unknown codec {codec!r}")
+
+
+# ----------------------------------------------------------------------
+# Command wire format
+# ----------------------------------------------------------------------
+def encode_command(command):
+    """Encode a :class:`~repro.core.command.Command` for the wire.
+
+    The dataclass is flattened to a fixed-shape tuple — no field names on
+    the wire — which :func:`decode_command` re-expands.  ``destinations``
+    travels as a sorted tuple (frozensets have no stable iteration order);
+    the :data:`~repro.multicast.group.ALL_GROUPS` sentinel and ``None``
+    pass through as-is.
+    """
+    destinations = command.destinations
+    if isinstance(destinations, frozenset):
+        destinations = ("fs", tuple(sorted(destinations)))
+    return encode(
+        (
+            command.uid,
+            command.name,
+            command.args,
+            command.size_bytes,
+            destinations,
+            command.submitted_at,
+        )
+    )
+
+
+def decode_command(data):
+    """Decode bytes from :func:`encode_command` back into a ``Command``."""
+    from repro.core.command import Command
+
+    uid, name, args, size_bytes, destinations, submitted_at = decode(data)
+    if isinstance(destinations, tuple) and destinations[:1] == ("fs",):
+        destinations = frozenset(destinations[1])
+    return Command(
+        uid=uid,
+        name=name,
+        args=args,
+        size_bytes=size_bytes,
+        destinations=destinations,
+        submitted_at=submitted_at,
+    )

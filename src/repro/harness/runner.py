@@ -65,6 +65,7 @@ def build_kv_system(
     execute_state=False,
     initial_keys=0,
     checkpoint_policy=None,
+    delivery_batching=False,
 ):
     """Construct (but do not run) one technique over the key-value store."""
     mix = mix if mix is not None else READ_ONLY_MIX
@@ -75,6 +76,7 @@ def build_kv_system(
     num_clients = num_clients if num_clients is not None else default_clients(technique, threads)
     num_replicas = 1 if technique in ("no-rep", "BDB") else 2
     config = _base_config(threads, num_clients, seed, num_replicas=num_replicas)
+    config.multicast.delivery_batching = delivery_batching
     if batch_max_bytes is not None:
         config.multicast.batch_max_bytes = batch_max_bytes
         # Keep the command-count cap from masking the byte limit.

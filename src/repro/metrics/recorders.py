@@ -42,6 +42,23 @@ class LatencyRecorder:
         index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
+    def p50(self):
+        """Median latency (seconds)."""
+        return self.percentile(0.50)
+
+    def p99(self):
+        """99th-percentile latency (seconds)."""
+        return self.percentile(0.99)
+
+    def summary(self):
+        """``{count, mean, p50, p99}`` — the benchmark runner's record shape."""
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p99": self.p99(),
+        }
+
     def cdf(self, points=50):
         """Return ``[(latency, cumulative fraction)]`` suitable for plotting."""
         if not self._samples:

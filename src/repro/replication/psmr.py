@@ -53,6 +53,7 @@ class PsmrWorker:
         self.state = state
         self.health = health
         self.scale = self.costs.contention_factor(self.mpl)
+        self.delivery_batching = system.config.multicast.delivery_batching
         self.cpu_name = f"server{replica_id}/worker{index}"
         self.inbox = StreamInbox(
             system.env,
@@ -89,6 +90,12 @@ class PsmrWorker:
         costs = self.costs
         chunk = []
         chunk_cost = 0.0
+        delivery = costs.delivery
+        if self.delivery_batching and len(batch.commands) > 1:
+            # Amortised drain: one full-priced wakeup for the whole batch,
+            # then only the residual unmarshal share per command.
+            delivery = costs.delivery * costs.batched_delivery_share
+            chunk_cost = costs.delivery * self.scale
         for command in batch.commands:
             if command.name == RECOVERY_COMMAND:
                 if chunk or chunk_cost > 0:
@@ -117,20 +124,20 @@ class PsmrWorker:
                 # Fast path for the common case: a single-group command
                 # delivered on this thread's own stream is parallel mode.
                 cost = (
-                    costs.delivery + self.profile.execute_cost(command, self.cache)
+                    delivery + self.profile.execute_cost(command, self.cache)
                 ) * self.scale
                 chunk_cost += cost
                 chunk.append((command, chunk_cost))
                 continue
             plan = plan_execution(destinations, self.index, self.mpl)
             if plan.mode == "parallel":
-                cost = costs.delivery + self.profile.execute_cost(command, self.cache)
+                cost = delivery + self.profile.execute_cost(command, self.cache)
                 if via_all:
                     cost += costs.merge_overhead
                 chunk_cost += cost * self.scale
                 chunk.append((command, chunk_cost))
             elif plan.mode == "ignore":
-                chunk_cost += costs.delivery * self.scale
+                chunk_cost += delivery * self.scale
             else:
                 if chunk or chunk_cost > 0:
                     yield from self._flush_chunk(chunk, chunk_cost)

@@ -32,6 +32,7 @@ import itertools
 import os
 import threading
 import time
+from functools import lru_cache
 
 from repro.common.checkpoint import (
     NO_COMPRESSION,
@@ -45,7 +46,13 @@ from repro.core.cg import CGFunction
 from repro.core.command import Command
 from repro.core.protocol import plan_execution
 from repro.multicast.group import ALL_GROUPS
-from repro.runtime.multicast import LocalAtomicMulticast
+from repro.runtime.multicast import LocalAtomicMulticast, decode_wire
+
+#: ``plan_execution`` is a pure function of hashable arguments and the hot
+#: path calls it once per delivered command — memoising it removes the
+#: per-command plan construction (the argument space is tiny: destination
+#: sets over ``mpl`` groups times thread indices).
+_cached_plan = lru_cache(maxsize=None)(plan_execution)
 
 
 class _BarrierSync:
@@ -209,6 +216,13 @@ class _Replica:
         #: perform a full state transfer from a live peer.
         self.needs_full_transfer = False
         self.delivered = [0] * (cluster.mpl + 1)
+        #: Batches drained per thread (``delivered[i] / batches[i]`` is the
+        #: thread's achieved amortisation).  Single-writer slots: no lock.
+        self.batches = [0] * (cluster.mpl + 1)
+        #: Serialises chain mutations (markers, recovery install) against
+        #: off-path compaction on the scheduler thread; also makes the
+        #: durable store single-writer.
+        self.chain_lock = threading.Lock()
         self.threads = []
         for index in range(1, cluster.mpl + 1):
             worker = threading.Thread(
@@ -228,34 +242,75 @@ class _Replica:
             thread.join(timeout)
 
     def _worker_loop(self, index, delivery_queue):
-        mpl = self.cluster.mpl
+        """Drain delivered messages in batches and execute them in order.
+
+        One :meth:`DeliveryQueue.get_batch` wakeup processes up to the
+        cluster's ``delivery_batch_size`` messages — one lock round-trip
+        amortised over the whole run instead of paid per command.
+        Parallel-mode responses are accumulated and handed to the cluster
+        in one batch too (:meth:`ThreadedPSMRCluster._respond_many`);
+        they are always flushed before anything that can block or reorder
+        — a barrier, a checkpoint marker — and at the end of every drained
+        batch, so a closed-loop client is never left waiting on a response
+        this thread is sitting on.
+        """
+        cluster = self.cluster
+        mpl = cluster.mpl
+        batch_size = cluster.delivery_batch_size
+        pending = []  # (uid, response) pairs not yet handed to the cluster
         while True:
-            item = delivery_queue.get()
-            if item is None or self.crashed:
-                return
-            sequence, destinations, command = item
-            self.delivered[index] += 1
-            try:
-                if isinstance(command, CheckpointMarker):
-                    self._handle_marker(sequence, command, index)
-                    continue
-                plan = plan_execution(destinations, index, mpl)
-                if plan.mode == "parallel":
-                    self._execute_and_reply(command)
-                elif plan.mode == "execute":
-                    self.barrier.wait_for_peers(
-                        command.uid, plan.peers, timeout=self.cluster.barrier_timeout
-                    )
-                    self._execute_and_reply(command)
-                    self.barrier.complete(command.uid)
-                elif plan.mode == "assist":
-                    self.barrier.signal(command.uid, index)
-                    self.barrier.wait_for_completion(
-                        command.uid, timeout=self.cluster.barrier_timeout
-                    )
-                # plan.mode == "ignore": not a destination; nothing to do.
-            except ReplicaCrashedError:
-                return
+            batch = delivery_queue.get_batch(batch_size)
+            self.batches[index] += 1
+            for item in batch:
+                if item is None or self.crashed:
+                    # Clean shutdown still delivers executed responses; a
+                    # crash drops them (the replica is gone mid-flight).
+                    if not self.crashed:
+                        self._flush_responses(pending)
+                    return
+                sequence, destinations, command = item
+                self.delivered[index] += 1
+                if isinstance(command, (bytes, bytearray)):
+                    command = decode_wire(command)
+                try:
+                    if isinstance(command, CheckpointMarker):
+                        # The marker cuts the batch: every response from
+                        # before it becomes client-visible before the
+                        # barrier, and nothing after it has executed yet
+                        # (in-order drain) — so the cut lands exactly on a
+                        # batch boundary.
+                        self._flush_responses(pending)
+                        self._handle_marker(sequence, command, index)
+                        if pending:
+                            cluster._record_boundary_violation()
+                            self._flush_responses(pending)
+                        continue
+                    plan = _cached_plan(destinations, index, mpl)
+                    if plan.mode == "parallel":
+                        pending.append((command.uid, self._execute(command)))
+                    elif plan.mode == "execute":
+                        self._flush_responses(pending)
+                        self.barrier.wait_for_peers(
+                            command.uid, plan.peers, timeout=cluster.barrier_timeout
+                        )
+                        self._execute_and_reply(command)
+                        self.barrier.complete(command.uid)
+                    elif plan.mode == "assist":
+                        self._flush_responses(pending)
+                        self.barrier.signal(command.uid, index)
+                        self.barrier.wait_for_completion(
+                            command.uid, timeout=cluster.barrier_timeout
+                        )
+                    # plan.mode == "ignore": not a destination; nothing to do.
+                except ReplicaCrashedError:
+                    return
+            self._flush_responses(pending)
+
+    def _flush_responses(self, pending):
+        """Hand accumulated parallel-mode responses to the cluster at once."""
+        if pending:
+            self.cluster._respond_many(pending)
+            pending.clear()
 
     def _handle_marker(self, sequence, marker, index):
         """Synchronous-mode execution of a :class:`CheckpointMarker`.
@@ -280,10 +335,11 @@ class _Replica:
             # its watermark; only completion is reported (state stays here).
             # The policy's ``full_every`` decides full vs. delta: a delta
             # serialises only what changed since the chain tip.
-            entry = self._take_local_checkpoint(sequence)
-            self.checkpoint_watermark = sequence
-            self.cluster._record_checkpoint(self.replica_id, entry)
-            self.cluster._chain_updated(self)
+            with self.chain_lock:
+                entry = self._take_local_checkpoint(sequence)
+                self.checkpoint_watermark = sequence
+                self.cluster._record_checkpoint(self.replica_id, entry)
+                self.cluster._chain_updated(self)
             marker.deliver(self.replica_id, sequence, None)
         elif marker.source_replica_id == self.replica_id:
             # Source marker (recovery transfer): a fresh full snapshot.  It
@@ -292,12 +348,13 @@ class _Replica:
             state = self.service.checkpoint()
             if hasattr(self.service, "reset_delta_tracking"):
                 self.service.reset_delta_tracking()
-            self.checkpoint_chain = [
-                {"kind": "full", "sequence": sequence, "payload": state}
-            ]
-            self.checkpoint_watermark = sequence
-            self.deltas_since_full = 0
-            self.cluster._chain_updated(self)
+            with self.chain_lock:
+                self.checkpoint_chain = [
+                    {"kind": "full", "sequence": sequence, "payload": state}
+                ]
+                self.checkpoint_watermark = sequence
+                self.deltas_since_full = 0
+                self.cluster._chain_updated(self)
             marker.deliver(self.replica_id, sequence, state)
         self.barrier.complete(marker.uid)
 
@@ -307,11 +364,11 @@ class _Replica:
         A delta is taken when the policy allows more deltas on the current
         chain and the service supports delta checkpoints; otherwise a full
         snapshot starts a new chain (and resets the service's delta
-        tracking, so the next delta is relative to this base).  When the
-        chain's delta count reaches the policy's ``compact_after``, the
-        run of deltas is merged into one (:func:`compact_chain`) — the
-        durable store then rewrites a single merged segment instead of
-        holding k, at the price of the merged-away intermediate cuts.
+        tracking, so the next delta is relative to this base).  Delta
+        compaction is deliberately *not* done here: every worker thread of
+        every replica is stalled at the marker barrier while this runs, so
+        the merge is paid off-path by the checkpoint scheduler instead
+        (:meth:`ThreadedPSMRCluster.compact_chains`).
         """
         policy = self.cluster.checkpoint_policy
         chain = self.checkpoint_chain
@@ -328,11 +385,7 @@ class _Replica:
                 "payload": self.service.delta_checkpoint(),
             }
             self.deltas_since_full += 1
-            extended = [*chain, entry]
-            if policy.compact_due(len(extended) - 1):
-                extended = compact_chain(extended)
-                self.cluster._record_compaction(self.replica_id, sequence)
-            self.checkpoint_chain = extended
+            self.checkpoint_chain = [*chain, entry]
         else:
             entry = {
                 "kind": "full",
@@ -345,12 +398,31 @@ class _Replica:
             self.checkpoint_chain = [entry]
         return entry
 
-    def _execute_and_reply(self, command):
+    def _execute(self, command):
+        """Apply one command; return the response (the caller delivers it)."""
         response = self.service.apply(command)
         if self.crashed:
             raise ReplicaCrashedError("replica crashed before replying")
         response.replica_id = self.replica_id
-        self.cluster._respond(command.uid, response)
+        return response
+
+    def _execute_and_reply(self, command):
+        self.cluster._respond(command.uid, self._execute(command))
+
+
+class PendingInvocation:
+    """Handle for an in-flight pipelined invocation (see ``invoke_async``)."""
+
+    __slots__ = ("cluster", "uid", "name")
+
+    def __init__(self, cluster, uid, name):
+        self.cluster = cluster
+        self.uid = uid
+        self.name = name
+
+    def result(self, timeout=10.0):
+        """Block until the first replica responds; return the response."""
+        return self.cluster._await_response(self.uid, self.name, timeout)
 
 
 class ThreadedClient:
@@ -361,8 +433,14 @@ class ThreadedClient:
         self.client_id = client_id
         self._sequence = itertools.count()
 
-    def invoke(self, name, timeout=10.0, **args):
-        """Invoke a service command and return its value (first replica response)."""
+    def invoke_async(self, name, **args):
+        """Multicast a command without waiting; return a :class:`PendingInvocation`.
+
+        Pipelining several invocations before collecting their results is
+        what fills the replicas' delivery batches: a strictly closed-loop
+        client hands the worker one command per wakeup, so batching then
+        has nothing to amortise.
+        """
         command = Command(
             uid=(self.client_id, next(self._sequence)),
             name=name,
@@ -370,15 +448,13 @@ class ThreadedClient:
         )
         gamma = self.cluster.cg.groups_for(name, args)
         command.destinations = gamma
-        waiter = self.cluster._register_waiter(command.uid)
+        self.cluster._register_waiter(command.uid)
         self.cluster.multicast.multicast(gamma, command)
-        if not waiter.wait(timeout):
-            # Drop the registration (and any response that raced the
-            # timeout) so abandoned invocations do not leak waiters.
-            self.cluster._discard_waiter(command.uid)
-            raise TimeoutError(f"no response for {name} within {timeout}s")
-        response = self.cluster._take_response(command.uid)
-        return response
+        return PendingInvocation(self.cluster, command.uid, name)
+
+    def invoke(self, name, timeout=10.0, **args):
+        """Invoke a service command and return its value (first replica response)."""
+        return self.invoke_async(name, **args).result(timeout)
 
 
 class _CheckpointScheduler(threading.Thread):
@@ -451,21 +527,34 @@ class ThreadedPSMRCluster:
     def __init__(self, spec, service_factory, mpl=4, num_replicas=2,
                  coarse_cg=False, barrier_timeout=10.0, seed=0,
                  log_retention=None, checkpoint_policy=None,
-                 checkpoint_poll_interval=0.005, store_dir=None):
+                 checkpoint_poll_interval=0.005, store_dir=None,
+                 delivery_batch_size=32, wire_codec=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
+        if delivery_batch_size < 1:
+            raise ConfigurationError("delivery batch size must be >= 1")
         self.spec = spec
         self.service_factory = service_factory
         self.mpl = mpl
         self.num_replicas = num_replicas
         self.barrier_timeout = barrier_timeout
+        #: Messages a worker drains per wakeup; 1 restores the legacy
+        #: one-lock-round-trip-per-command behaviour (the benchmark's
+        #: "before" arm).
+        self.delivery_batch_size = delivery_batch_size
         self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
-        self.multicast = LocalAtomicMulticast(mpl, retention=log_retention)
+        self.multicast = LocalAtomicMulticast(
+            mpl, retention=log_retention, wire_codec=wire_codec
+        )
         self.checkpoint_policy = checkpoint_policy
         self.checkpoint_poll_interval = checkpoint_poll_interval
         self.checkpoints_taken = 0
         self.truncations = 0
         self.compactions = 0
+        #: Incremented if a marker ever completes with responses still
+        #: pending on a worker — the batched drain keeps this at zero
+        #: (markers cut exactly at batch boundaries); tests assert on it.
+        self.marker_boundary_violations = 0
         #: Chain-manifest exchange: replicas publish ``(kind, sequence)``
         #: manifests at every marker cut; recovery consults it for donors.
         self.gossip = ChainGossip()
@@ -655,7 +744,37 @@ class ThreadedPSMRCluster:
         if sequence is not None:
             self.checkpoints_taken += 1
             self.truncate_to_watermarks()
+            # Merge due delta runs now, on this (scheduler) thread — after
+            # the marker barrier released the workers, not while every
+            # thread of every replica was stalled inside it.
+            self.compact_chains()
         return sequence
+
+    def compact_chains(self):
+        """Compact due delta runs on every live replica, off the marker path.
+
+        The policy's ``compact_after`` used to be enforced inside the
+        marker barrier — every worker thread of every replica stalled
+        while one thread merged k deltas.  It now runs here, on the
+        scheduler thread, with only the owning replica's ``chain_lock``
+        held; workers keep executing commands throughout.  Returns the
+        number of chains compacted.
+        """
+        policy = self.checkpoint_policy
+        if policy is None:
+            return 0
+        compacted = 0
+        for replica in self.live_replicas():
+            with replica.chain_lock:
+                chain = replica.checkpoint_chain
+                if len(chain) > 1 and policy.compact_due(len(chain) - 1):
+                    replica.checkpoint_chain = compact_chain(chain)
+                    self._record_compaction(
+                        replica.replica_id, chain[-1]["sequence"]
+                    )
+                    self._chain_updated(replica)
+                    compacted += 1
+        return compacted
 
     def _compression(self):
         if self.checkpoint_policy is not None:
@@ -978,7 +1097,10 @@ class ThreadedPSMRCluster:
             1 for entry in chain if entry["kind"] == "delta"
         )
         self.replicas[replica_id] = replica
-        self._chain_updated(replica)
+        # Under the chain lock: the scheduler's compact_chains may pick the
+        # replica up the moment it lands in ``self.replicas``.
+        with replica.chain_lock:
+            self._chain_updated(replica)
         if self._started:
             replica.start()
         return replica
@@ -1021,25 +1143,66 @@ class ThreadedPSMRCluster:
         return ThreadedClient(self, next(self._client_ids))
 
     def _register_waiter(self, uid):
-        event = threading.Event()
+        # ``None`` marks "registered, nobody blocked yet".  The Event is
+        # allocated lazily in ``_await_response`` only when the client gets
+        # there *before* the response — in pipelined use the response has
+        # usually landed already, and the allocate/set/wait cycle of a
+        # per-invocation Event is pure overhead on the hot path.
         with self._lock:
-            self._waiters[uid] = event
-        return event
+            self._waiters[uid] = None
 
     def _discard_waiter(self, uid):
         with self._lock:
             self._waiters.pop(uid, None)
             self._responses.pop(uid, None)
 
+    def _await_response(self, uid, name, timeout):
+        with self._lock:
+            if uid in self._responses:
+                self._waiters.pop(uid, None)
+                return self._responses.pop(uid)
+            event = self._waiters.get(uid)
+            if event is None:
+                if uid not in self._waiters:
+                    raise KeyError(f"invocation {uid} is not awaiting a response")
+                event = self._waiters[uid] = threading.Event()
+        if not event.wait(timeout):
+            # Drop the registration (and any response that raced the
+            # timeout) so abandoned invocations do not leak waiters.
+            self._discard_waiter(uid)
+            raise TimeoutError(f"no response for {name} within {timeout}s")
+        return self._take_response(uid)
+
     def _respond(self, uid, response):
         with self._lock:
-            waiter = self._waiters.get(uid)
-            if waiter is None or uid in self._responses:
+            if uid not in self._waiters or uid in self._responses:
                 # Duplicate replies, replies after a client timed out, and
                 # replies re-executed during recovery replay are dropped.
                 return
             self._responses[uid] = response
-        waiter.set()
+            waiter = self._waiters[uid]
+        if waiter is not None:
+            waiter.set()
+
+    def _respond_many(self, responses):
+        """Deliver a batch of ``(uid, response)`` pairs in one lock round-trip."""
+        to_wake = []
+        with self._lock:
+            waiters = self._waiters
+            stored = self._responses
+            for uid, response in responses:
+                if uid not in waiters or uid in stored:
+                    continue  # same duplicate/timeout policy as _respond
+                stored[uid] = response
+                waiter = waiters[uid]
+                if waiter is not None:
+                    to_wake.append(waiter)
+        for waiter in to_wake:
+            waiter.set()
+
+    def _record_boundary_violation(self):
+        with self._lock:
+            self.marker_boundary_violations += 1
 
     def _take_response(self, uid):
         with self._lock:
@@ -1077,3 +1240,13 @@ class ThreadedPSMRCluster:
         if quiesce and self._started:
             self.wait_for_quiescence()
         return [replica.service.snapshot() for replica in self.live_replicas()]
+
+    def delivery_batch_stats(self):
+        """Achieved delivery amortisation: messages, wakeups, average batch."""
+        delivered = sum(sum(replica.delivered) for replica in self.replicas)
+        batches = sum(sum(replica.batches) for replica in self.replicas)
+        return {
+            "messages_delivered": delivered,
+            "batches_drained": batches,
+            "avg_batch": (delivered / batches) if batches else 0.0,
+        }

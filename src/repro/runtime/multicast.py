@@ -1,11 +1,89 @@
 """In-process atomic multicast for the threaded runtime."""
 
+import collections
 import itertools
+import pickle
 import queue
 import threading
 
+from repro.common import codec as _codec
 from repro.common.errors import ConfigurationError, RecoveryError
+from repro.core.command import Command
 from repro.multicast.group import ALL_GROUPS, GroupLayout
+
+
+class DeliveryQueue:
+    """A worker thread's delivery queue, drainable in batches.
+
+    ``queue.Queue`` costs one lock round-trip per item on both sides; the
+    hot path instead drains *everything available* (up to ``max_items``)
+    in a single :meth:`get_batch` acquisition, which is where the threaded
+    runtime's batched-delivery speedup comes from.  Semantics are otherwise
+    those of an unbounded FIFO queue.
+    """
+
+    def __init__(self):
+        self._items = collections.deque()
+        self._cond = threading.Condition()
+
+    def put(self, item):
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify()
+
+    def put_many(self, items):
+        with self._cond:
+            self._items.extend(items)
+            self._cond.notify_all()
+
+    def get(self):
+        """Block until one item is available and return it."""
+        with self._cond:
+            self._cond.wait_for(lambda: self._items)
+            return self._items.popleft()
+
+    def get_batch(self, max_items):
+        """Block until items are available; return up to ``max_items`` of them."""
+        with self._cond:
+            self._cond.wait_for(lambda: self._items)
+            items = self._items
+            if len(items) <= max_items:
+                batch = list(items)
+                items.clear()
+            else:
+                batch = [items.popleft() for _ in range(max_items)]
+            return batch
+
+    def get_nowait(self):
+        """Return one item without blocking; raise ``queue.Empty`` when empty."""
+        with self._cond:
+            if not self._items:
+                raise queue.Empty
+            return self._items.popleft()
+
+    def qsize(self):
+        with self._cond:
+            return len(self._items)
+
+    def empty(self):
+        with self._cond:
+            return not self._items
+
+
+def encode_wire(command, wire_codec):
+    """Serialise a command for the wire with the named codec."""
+    if wire_codec == "binary":
+        return _codec.encode_command(command)
+    if wire_codec == "pickle":
+        return pickle.dumps(command, protocol=pickle.HIGHEST_PROTOCOL)
+    raise ConfigurationError(f"unknown wire codec {wire_codec!r}")
+
+
+def decode_wire(data):
+    """Deserialise a wire payload from either wire codec (auto-detected)."""
+    if data[0] == _codec.MAGIC:
+        return _codec.decode_command(data)
+    return pickle.loads(data)
 
 
 class LocalAtomicMulticast:
@@ -27,17 +105,33 @@ class LocalAtomicMulticast:
     :class:`~repro.common.errors.RecoveryError`.
     """
 
-    def __init__(self, mpl, retention=None):
+    def __init__(self, mpl, retention=None, wire_codec=None):
         if mpl < 1:
             raise ConfigurationError("multiprogramming level must be >= 1")
         if retention is not None and retention < 1:
             raise ConfigurationError("log retention must be >= 1 (or None)")
+        if wire_codec not in (None, "binary", "pickle"):
+            raise ConfigurationError(f"unknown wire codec {wire_codec!r}")
         self.layout = GroupLayout(mpl)
         self.mpl = mpl
+        #: ``None`` passes command objects by reference (zero-copy, the
+        #: in-process default); ``"binary"``/``"pickle"`` serialise every
+        #: command at multicast time and let each worker deserialise its own
+        #: copy — the real wire path, measurable via ``wire_bytes``.
+        #: Control messages (checkpoint markers) always pass by reference:
+        #: they carry live synchronisation state, not data.
+        self.wire_codec = wire_codec
+        self.wire_bytes = 0
         self._lock = threading.Lock()
         self._sequence = itertools.count()
         # (replica_id, thread_index) -> delivery queue
         self._queues = {}
+        # Hot-path caches: destinations -> delivering thread set (the
+        # layout is fixed by mpl, so entries never go stale), and thread
+        # set -> list of subscribed queues (cleared on every registration
+        # change, rebuilt lazily under the lock).
+        self._threads_for = {}
+        self._routes = {}
         # Retained ordered messages: (sequence, destinations, threads, payload).
         self._log = []
         self._retention = retention
@@ -74,9 +168,11 @@ class LocalAtomicMulticast:
                 for thread_index in thread_indices:
                     delivery_queue = self._register_locked(replica_id, thread_index)
                     if after_sequence is not None:
-                        for sequence, destinations, threads, payload in self._log:
-                            if sequence > after_sequence and thread_index in threads:
-                                delivery_queue.put((sequence, destinations, payload))
+                        delivery_queue.put_many(
+                            (sequence, destinations, payload)
+                            for sequence, destinations, threads, payload in self._log
+                            if sequence > after_sequence and thread_index in threads
+                        )
                     queues[thread_index] = delivery_queue
             except Exception:
                 # Roll back the threads registered so far: a failure halfway
@@ -91,15 +187,18 @@ class LocalAtomicMulticast:
         key = (replica_id, thread_index)
         if key in self._queues:
             raise ConfigurationError(f"thread {key} registered twice")
-        delivery_queue = queue.Queue()
+        delivery_queue = DeliveryQueue()
         self._queues[key] = delivery_queue
+        self._routes.clear()
         return delivery_queue
 
     def unregister_replica(self, replica_id):
         """Remove a replica's queues (no further deliveries); return them."""
         with self._lock:
             keys = [key for key in self._queues if key[0] == replica_id]
-            return {key[1]: self._queues.pop(key) for key in keys}
+            queues = {key[1]: self._queues.pop(key) for key in keys}
+            self._routes.clear()
+            return queues
 
     def replica_ids(self):
         with self._lock:
@@ -110,21 +209,44 @@ class LocalAtomicMulticast:
     # ------------------------------------------------------------------
     def multicast(self, destinations, payload):
         """Atomically deliver ``payload`` to every thread of every destination group."""
-        if destinations == ALL_GROUPS:
-            threads = frozenset(range(1, self.mpl + 1))
-        else:
-            threads = frozenset(self.layout.delivering_threads(destinations))
+        try:
+            threads = self._threads_for[destinations]
+        except (KeyError, TypeError):
+            if destinations == ALL_GROUPS:
+                threads = frozenset(range(1, self.mpl + 1))
+            else:
+                threads = frozenset(self.layout.delivering_threads(destinations))
+            try:
+                # Benign race: concurrent misses compute the same value
+                # (the layout is fixed), and a GIL-atomic store publishes
+                # it.  Unhashable destination containers just skip caching.
+                self._threads_for[destinations] = threads
+            except TypeError:
+                pass
+        encoded = self.wire_codec is not None and isinstance(payload, Command)
+        if encoded:
+            payload = encode_wire(payload, self.wire_codec)
         with self._lock:
             sequence = next(self._sequence)
             self._latest_sequence = sequence
             self.messages_multicast += 1
+            if encoded:
+                self.wire_bytes += len(payload)
             self._log.append((sequence, destinations, threads, payload))
             if self._retention is not None and len(self._log) > self._retention:
                 del self._log[: len(self._log) - self._retention]
                 self._min_retained = self._log[0][0]
-            for (replica_id, thread_index), delivery_queue in self._queues.items():
-                if thread_index in threads:
-                    delivery_queue.put((sequence, destinations, payload))
+            route = self._routes.get(threads)
+            if route is None:
+                route = [
+                    queue
+                    for (_replica, thread_index), queue in self._queues.items()
+                    if thread_index in threads
+                ]
+                self._routes[threads] = route
+            item = (sequence, destinations, payload)
+            for delivery_queue in route:
+                delivery_queue.put(item)
         return sequence
 
     # ------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""Incremental-persist guarantees of the durable checkpoint store.
+
+ISSUE 6's persist-cycle audit, pinned as regression tests:
+
+* appending a delta to a durable chain writes **only** the new segment and
+  the manifest — the inodes and mtimes of every already-persisted segment
+  are untouched (no re-serialisation, no re-fsync of the unchanged prefix);
+* compaction reuses the base segment file and rewrites only the merged
+  delta;
+* segments written by older releases with ``pickle.dumps(..., protocol=4)``
+  load through the codec-aware reader, and a chain can mix codecs freely.
+"""
+
+import os
+import pickle
+import struct
+import zlib
+
+from repro.common import codec
+from repro.common.checkpoint import compact_chain
+from repro.common.checkpoint_store import CheckpointStore
+
+
+def _entry(kind, sequence, payload):
+    return {"kind": kind, "sequence": sequence, "payload": payload}
+
+
+def _segment_stats(store):
+    """``{segment name: (inode, mtime_ns, size)}`` for the committed chain."""
+    stats = {}
+    for record in store._records:
+        info = os.stat(os.path.join(store.directory, record["segment"]))
+        stats[record["segment"]] = (info.st_ino, info.st_mtime_ns, info.st_size)
+    return stats
+
+
+class TestIncrementalPersist:
+    def test_delta_append_leaves_old_segments_untouched(self, tmp_path):
+        store = CheckpointStore(tmp_path / "replica-0")
+        chain = [_entry("full", 10, {"tree": {"order": 4, "items": [(1, b"a")]},
+                                     "commands_executed": 1})]
+        store.sync_chain(chain)
+        before = _segment_stats(store)
+        assert len(before) == 1
+
+        for sequence in (20, 30, 40):
+            chain = [*chain, _entry("delta", sequence,
+                                    {"order": 4, "changes": [(sequence, b"v")],
+                                     "deletions": [], "commands_executed": sequence})]
+            store.sync_chain(chain)
+            after = _segment_stats(store)
+            # Every previously-committed segment is bit-for-bit the same
+            # file: same inode, same mtime, same size.  Only one new
+            # segment appears per delta append.
+            for name, stat in before.items():
+                assert after[name] == stat, f"segment {name} was rewritten"
+            assert len(after) == len(before) + 1
+            before = after
+
+    def test_noop_sync_writes_nothing(self, tmp_path):
+        store = CheckpointStore(tmp_path / "replica-0")
+        chain = [
+            _entry("full", 5, {"a": 1}),
+            _entry("delta", 9, {"b": 2}),
+        ]
+        store.sync_chain(chain)
+        manifest_path = os.path.join(store.directory, "MANIFEST")
+        before = _segment_stats(store)
+        manifest_before = os.stat(manifest_path).st_mtime_ns
+        store.sync_chain(chain)  # identical chain: nothing may be written
+        assert _segment_stats(store) == before
+        assert os.stat(manifest_path).st_mtime_ns == manifest_before
+
+    def test_compaction_reuses_base_segment(self, tmp_path):
+        store = CheckpointStore(tmp_path / "replica-0")
+        chain = [_entry("full", 0, {"tree": {"order": 4, "items": []},
+                                    "commands_executed": 0})]
+        store.sync_chain(chain)
+        base_name, base_stat = next(iter(_segment_stats(store).items()))
+        for sequence in (1, 2, 3):
+            chain = [*chain, _entry("delta", sequence,
+                                    {"order": 4, "changes": [(sequence, b"x")],
+                                     "deletions": [],
+                                     "commands_executed": sequence})]
+        store.sync_chain(chain)
+        compacted = compact_chain(chain)
+        assert len(compacted) == 2  # base + one merged delta
+        store.sync_chain(compacted)
+        after = _segment_stats(store)
+        assert after[base_name] == base_stat  # base reused, not rewritten
+        assert len(after) == 2
+
+    def test_reopened_store_appends_without_rewriting(self, tmp_path):
+        store = CheckpointStore(tmp_path / "replica-0")
+        chain = [_entry("full", 1, {"n": 1}), _entry("delta", 2, {"n": 2})]
+        store.sync_chain(chain)
+        before = _segment_stats(store)
+        reopened = CheckpointStore(tmp_path / "replica-0")
+        reopened.sync_chain([*chain, _entry("delta", 3, {"n": 3})])
+        after = _segment_stats(reopened)
+        for name, stat in before.items():
+            assert after[name] == stat
+        assert len(after) == 3
+
+
+class TestCodecCompatibility:
+    def test_protocol4_segments_still_load(self, tmp_path):
+        """A store written by an older release (protocol-4 pickle) loads."""
+        directory = tmp_path / "replica-0"
+        store = CheckpointStore(directory)
+        payload = {"tree": {"order": 4, "items": [(1, b"a"), (2, b"b")]},
+                   "commands_executed": 7}
+        store.sync_chain([_entry("full", 3, payload)])
+        # Rewrite the committed segment the way the old code did: same
+        # header format, payload pinned to pickle protocol 4.
+        record = store._records[0]
+        raw = pickle.dumps(payload, protocol=4)
+        header = struct.Struct(">8sQI").pack(
+            b"PSMRSEG1", len(raw), zlib.crc32(raw) & 0xFFFFFFFF
+        )
+        path = os.path.join(str(directory), record["segment"])
+        with open(path, "wb") as handle:
+            handle.write(header + raw)
+        record["length"] = len(raw)
+        record["crc"] = zlib.crc32(raw) & 0xFFFFFFFF
+        store._commit_manifest(store._records)
+
+        chain = CheckpointStore(directory).load_chain()
+        assert chain == [_entry("full", 3, payload)]
+
+    def test_mixed_codec_chain_loads(self, tmp_path):
+        """Binary and pickle segments coexist in one chain (upgrade path)."""
+        directory = tmp_path / "replica-0"
+        legacy = CheckpointStore(directory, codec="pickle")
+        legacy.sync_chain([_entry("full", 1, {"a": [1, 2, 3]})])
+        upgraded = CheckpointStore(directory, codec="binary")
+        upgraded.sync_chain([
+            _entry("full", 1, {"a": [1, 2, 3]}),
+            _entry("delta", 2, {"changes": [(9, b"z")], "deletions": []}),
+        ])
+        chain = CheckpointStore(directory).load_chain()
+        assert [entry["sequence"] for entry in chain] == [1, 2]
+        assert chain[0]["payload"] == {"a": [1, 2, 3]}
+        assert chain[1]["payload"]["changes"] == [(9, b"z")]
+
+    def test_binary_segments_are_smaller(self, tmp_path):
+        items = [(key, b"\x00" * 8) for key in range(1000)]
+        payload = {"tree": {"order": 64, "items": items},
+                   "commands_executed": 1000}
+        binary = CheckpointStore(tmp_path / "binary", codec="binary")
+        pickled = CheckpointStore(tmp_path / "pickle", codec="pickle")
+        binary.sync_chain([_entry("full", 1, payload)])
+        pickled.sync_chain([_entry("full", 1, payload)])
+        assert binary.disk_bytes() < pickled.disk_bytes()
+        assert binary.load_chain() == pickled.load_chain()
+
+    def test_encode_decode_symmetry_for_store_payloads(self):
+        payload = {"tree": {"order": 64, "items": [(k, bytes([k % 251]))
+                                                   for k in range(100)]},
+                   "commands_executed": 2**70}
+        assert codec.decode(codec.dumps(payload, "binary")) == payload
+        assert codec.decode(codec.dumps(payload, "pickle")) == payload

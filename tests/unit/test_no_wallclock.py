@@ -1,0 +1,47 @@
+"""Guard: no wall-clock timing on any measurement or runtime path.
+
+``time.time()`` is subject to NTP steps and DST adjustments; a benchmark
+or latency measurement taken with it can go backwards or jump.  Every
+duration in the runtime, the metrics layer and the benchmark runner must
+come from ``time.monotonic()`` / ``time.perf_counter()``.  This sweep pins
+that property so a future edit cannot quietly reintroduce wall-clock
+timing.
+"""
+
+import os
+import re
+
+import repro
+
+SWEPT_PACKAGES = ["runtime", "metrics", "replication", "harness", "common"]
+
+#: Matches a call of time.time (not time.monotonic / perf_counter).
+_WALLCLOCK = re.compile(r"\btime\.time\s*\(")
+
+
+def _python_sources():
+    root = list(repro.__path__)[0]
+    for package in SWEPT_PACKAGES:
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, package)):
+            for name in filenames:
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+    bench_root = os.path.join(os.path.dirname(root), os.pardir, "benchmarks")
+    bench_root = os.path.normpath(bench_root)
+    if os.path.isdir(bench_root):
+        for name in os.listdir(bench_root):
+            if name.endswith(".py"):
+                yield os.path.join(bench_root, name)
+
+
+def test_no_wallclock_timing_anywhere():
+    offenders = []
+    for path in _python_sources():
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                if _WALLCLOCK.search(line):
+                    offenders.append(f"{path}:{line_number}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock timing found (use time.monotonic/perf_counter):\n"
+        + "\n".join(offenders)
+    )
