@@ -28,6 +28,7 @@ from repro.harness.experiments import (
     run_fig6_mixed,
     run_fig7_skew,
     run_fig8_netfs,
+    run_nemesis,
     run_recovery,
     run_table1,
 )
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "checkpoint-scaling": (run_checkpoint_scaling, True),
     "delta-checkpoint": (run_delta_checkpoint, True),
     "durable-recovery": (run_durable_recovery, True),
+    "nemesis": (run_nemesis, True),
     "ablation-merge": (run_ablation_merge_policy, True),
     "ablation-cg": (run_ablation_cg_granularity, True),
     "ablation-batch": (run_ablation_batch_size, True),

@@ -14,6 +14,7 @@ from repro.harness.experiments.netfs import run_fig8_netfs
 from repro.harness.experiments.recovery import run_checkpoint_scaling, run_recovery
 from repro.harness.experiments.delta import run_delta_checkpoint
 from repro.harness.experiments.durable import run_durable_recovery
+from repro.harness.experiments.nemesis import run_nemesis
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -32,6 +33,7 @@ __all__ = [
     "run_checkpoint_scaling",
     "run_delta_checkpoint",
     "run_durable_recovery",
+    "run_nemesis",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

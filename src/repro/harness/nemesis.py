@@ -1,0 +1,506 @@
+"""Seeded nemesis episodes against both runtimes.
+
+An *episode* is one randomized adversarial run: a :class:`Nemesis` plan
+(partitions, crashes, recoveries, disk restarts, compactions, checkpoint
+markers — all derived from one seed) interleaved with live workload over
+a :class:`FaultPlane` whose per-link fault probabilities are derived from
+the same seed.  When the plan is exhausted the episode heals the network,
+recovers every crashed replica, drains, and then asserts the three oracle
+properties from ROADMAP item 5:
+
+(a) the recorded history is linearizable (checked per key — every KV
+    command touches exactly one key, so locality applies);
+(b) all replicas converge to identical service state;
+(c) ``marker_boundary_violations == 0`` (threaded runtime).
+
+Everything random descends from the episode seed, so a failing episode is
+reproducible with one command; :func:`assert_episode_ok` prints the seed
+and writes a JSON artifact (seed, plan, history) when a check fails.
+
+The threaded episode exercises the real-thread runtime end to end; the
+simulated episode runs the same plan shape in virtual time, where the
+fault schedule is *fully* deterministic (the report's ``schedule_digest``
+is identical across replays of the same seed).
+"""
+
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+
+from repro.common.checkpoint import CheckpointPolicy
+from repro.common.errors import LinearizabilityViolation, RecoveryError
+from repro.common.faults import FaultPlane, Nemesis
+from repro.common.rng import derive_seed
+from repro.harness.runner import build_kv_system
+from repro.runtime import HistoryRecorder, ThreadedPSMRCluster, check_kv_history
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+from repro.workload import mixed_workload
+
+#: Op kinds for each runtime.  ``restart_disk`` and ``compact`` are
+#: threaded-only: the sim models checkpoints and recovery transfers but
+#: has no durable-store restart path.
+THREADED_KINDS = (
+    "partition", "heal", "crash", "recover", "restart_disk", "compact", "checkpoint",
+)
+SIM_KINDS = ("partition", "heal", "crash", "recover", "checkpoint")
+
+#: Initial value of pre-seeded keys (KeyValueStoreServer default).
+_SEED_VALUE = b"\x00" * 8
+
+
+def link_profile_from_seed(seed, scale=1.0):
+    """Derive randomized per-link fault probabilities from the seed.
+
+    ``scale`` stretches the delay magnitudes: the threaded runtime works
+    in wall milliseconds, the simulation in sub-millisecond virtual time.
+    """
+    rng = random.Random(derive_seed(seed, "links"))
+    return {
+        "drop": rng.uniform(0.0, 0.25),
+        "delay": rng.uniform(0.0, 0.4),
+        "delay_range": (0.0005 * scale, 0.004 * scale),
+        "duplicate": rng.uniform(0.0, 0.3),
+        "reorder": rng.uniform(0.0, 0.25),
+        "reorder_window": 0.004 * scale,
+    }
+
+
+def _digest(plane):
+    return hashlib.sha256(plane.schedule_bytes()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Threaded episode
+# ----------------------------------------------------------------------
+
+def run_threaded_nemesis_episode(
+    seed,
+    store_dir=None,
+    num_replicas=3,
+    mpl=3,
+    steps=8,
+    mean_gap=0.08,
+    kinds=THREADED_KINDS,
+    link_profile=None,
+    background_threads=2,
+    probe_clients=2,
+    probe_ops=12,
+    probe_keys=(900, 901),
+    load_keys=48,
+    invoke_timeout=15.0,
+    quiesce_timeout=30.0,
+):
+    """Run one seeded nemesis episode on the threaded runtime.
+
+    Returns a report dict (never raises for oracle failures — feed it to
+    :func:`assert_episode_ok`).  ``store_dir`` enables the durable store;
+    without it ``restart_disk`` ops degrade to plain recovery.
+    """
+    kinds = tuple(kinds)
+    if store_dir is None:
+        kinds = tuple(k for k in kinds if k != "restart_disk")
+    plane = FaultPlane(seed=derive_seed(seed, "plane"), retransmit_backoff=0.005)
+    profile = link_profile if link_profile is not None else link_profile_from_seed(seed)
+    plane.set_link(**profile)
+    nemesis = Nemesis(seed, num_replicas, steps=steps, mean_gap=mean_gap, kinds=kinds)
+    policy = CheckpointPolicy(every_messages=400, full_every=3, compact_after=2)
+    cluster = ThreadedPSMRCluster(
+        KVSTORE_SPEC,
+        lambda: KeyValueStoreServer(initial_keys=load_keys),
+        mpl=mpl,
+        num_replicas=num_replicas,
+        barrier_timeout=15.0,
+        seed=seed,
+        checkpoint_policy=policy,
+        store_dir=store_dir,
+        fault_plane=plane,
+    )
+    recorder = HistoryRecorder()
+    report = {
+        "runtime": "threaded",
+        "seed": seed,
+        "link_profile": dict(profile, delay_range=list(profile["delay_range"])),
+        "plan": [op.describe() for op in nemesis.plan],
+        "applied": [],
+        "failures": [],
+        "load_errors": [],
+        "recovery_s": [],
+    }
+    stop = threading.Event()
+    started_at = time.monotonic()
+
+    def loader(index):
+        client = cluster.client()
+        rng = random.Random(derive_seed(seed, "load", index))
+        while not stop.is_set():
+            key = rng.randrange(load_keys)
+            name = rng.choice(("update", "update", "read", "insert", "delete"))
+            args = {"key": key}
+            if name in ("update", "insert"):
+                args["value"] = key.to_bytes(4, "big") + rng.randrange(1 << 16).to_bytes(4, "big")
+            try:
+                client.invoke(name, timeout=invoke_timeout, **args)
+            except TimeoutError:
+                report["load_errors"].append(f"loader{index}: {name} key={key} timed out")
+
+    def probe(index):
+        client = cluster.client()
+        rng = random.Random(derive_seed(seed, "probe", index))
+        pace = (steps * mean_gap) / max(1, probe_ops)
+        for op_index in range(probe_ops):
+            key = probe_keys[(index + op_index) % len(probe_keys)]
+            name = rng.choice(("insert", "read", "update", "read", "delete", "read"))
+            args = {"key": key}
+            if name in ("insert", "update"):
+                args["value"] = f"p{index}-{op_index}".encode()
+
+            def call(name=name, args=args):
+                response = client.invoke(name, timeout=invoke_timeout, **args)
+                if name == "read":
+                    return response.value if response.error is None else None
+                return None if response.error is None else response.error
+
+            try:
+                recorder.timed_call(client.client_id, name, args, call)
+            except TimeoutError:
+                pass  # recorded as pending (possibly applied)
+            time.sleep(rng.uniform(0.2, 1.0) * pace)
+
+    threads = [
+        threading.Thread(target=loader, args=(i,), name=f"nemesis-load{i}", daemon=True)
+        for i in range(background_threads)
+    ] + [
+        threading.Thread(target=probe, args=(i,), name=f"nemesis-probe{i}", daemon=True)
+        for i in range(probe_clients)
+    ]
+    try:
+        with cluster:
+            # Seed the durable chains so restart_disk ops have a base.
+            cluster.periodic_checkpoint(timeout=10.0)
+            for thread in threads:
+                thread.start()
+            for op in nemesis.plan:
+                delay = started_at + op.at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                status, detail = "ok", ""
+                op_started = time.monotonic()
+                try:
+                    if op.kind == "partition":
+                        plane.isolate(f"replica{op.target}")
+                    elif op.kind == "heal":
+                        plane.heal()
+                    elif op.kind == "crash":
+                        cluster.crash_replica(op.target)
+                    elif op.kind == "recover":
+                        cluster.recover_replica(op.target)
+                        report["recovery_s"].append(time.monotonic() - op_started)
+                    elif op.kind == "restart_disk":
+                        cluster.restart_replica_from_disk(op.target)
+                        report["recovery_s"].append(time.monotonic() - op_started)
+                    elif op.kind == "compact":
+                        cluster.compact_chains()
+                    elif op.kind == "checkpoint":
+                        cluster.periodic_checkpoint(timeout=10.0)
+                except (RecoveryError, TimeoutError) as exc:
+                    status, detail = "skipped", f"{type(exc).__name__}: {exc}"
+                report["applied"].append(
+                    {"op": op.describe(), "status": status, "detail": detail}
+                )
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=quiesce_timeout)
+            # Final phase: heal, recover everyone, drain, check the oracle.
+            plane.heal()
+            for replica in cluster.replicas:
+                if not replica.crashed:
+                    continue
+                op_started = time.monotonic()
+                try:
+                    if store_dir is not None:
+                        cluster.restart_replica_from_disk(replica.replica_id)
+                    else:
+                        cluster.recover_replica(replica.replica_id)
+                except RecoveryError:
+                    cluster.recover_replica(replica.replica_id)
+                report["recovery_s"].append(time.monotonic() - op_started)
+            cluster.wait_for_quiescence(timeout=quiesce_timeout)
+            report["drained"] = cluster.multicast.pending_count() == 0
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            report["converged"] = all(s == snapshots[0] for s in snapshots)
+            report["live_replicas"] = len(snapshots)
+            report["marker_boundary_violations"] = cluster.marker_boundary_violations
+            try:
+                check_kv_history(recorder.operations, initial_state={})
+                report["linearizable"] = True
+            except LinearizabilityViolation as violation:
+                report["linearizable"] = False
+                report["failures"].append(f"linearizability: {violation}")
+    finally:
+        stop.set()
+        report["elapsed_s"] = time.monotonic() - started_at
+        report["plane_stats"] = dict(plane.stats)
+        report["schedule_digest"] = _digest(plane)
+        report["history"] = [
+            {
+                "client": op.client_id,
+                "name": op.name,
+                "args": {k: repr(v) for k, v in op.args.items()},
+                "result": repr(op.result),
+                "invoked_at": op.invoked_at,
+                "returned_at": op.returned_at,
+            }
+            for op in recorder.operations
+        ]
+        report["probe_operations"] = len(recorder.operations)
+    if not report.get("drained", False):
+        report["failures"].append("multicast did not drain")
+    if not report.get("converged", False):
+        report["failures"].append("replica states diverged")
+    if report.get("live_replicas") != num_replicas:
+        report["failures"].append("not every replica was live at the end")
+    if report.get("marker_boundary_violations", 1) != 0:
+        report["failures"].append("marker boundary violations observed")
+    if report["load_errors"]:
+        report["failures"].append(f"{len(report['load_errors'])} load invocations timed out")
+    report["ok"] = not report["failures"]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Simulated episode
+# ----------------------------------------------------------------------
+
+class _SimHistoryTap:
+    """Record a probe subset of the sim's client history for the checker."""
+
+    def __init__(self, clients, probe_keys, recorder):
+        self.clients = clients
+        self.probe_keys = frozenset(probe_keys)
+        self.recorder = recorder
+        self._invoked = {}
+        original_submit = clients.submit_fn
+        original_deliver = clients.deliver_response
+
+        def submit(command):
+            if command.args.get("key") in self.probe_keys:
+                self._invoked[command.uid] = (
+                    command.name, dict(command.args), command.submitted_at,
+                )
+            original_submit(command)
+
+        def deliver(uid, completed_at, value=None):
+            entry = self._invoked.pop(uid, None)
+            if entry is not None:
+                name, args, submitted_at = entry
+                result = value
+                if name == "read" and value == "err=1":
+                    result = None  # stored values are bytes; "err=1" is not-found
+                self.recorder.record(uid[0], name, args, result, submitted_at, completed_at)
+            original_deliver(uid, completed_at, value=value)
+
+        clients.submit_fn = submit
+        clients.deliver_response = deliver
+
+    def finish_pending(self):
+        """Record every invocation that never saw a response as pending."""
+        for name, args, submitted_at in self._invoked.values():
+            self.recorder.record(-1, name, args, None, submitted_at, None)
+        self._invoked.clear()
+
+
+def run_sim_nemesis_episode(
+    seed,
+    num_replicas=3,
+    mpl=3,
+    steps=8,
+    mean_gap=0.012,
+    warmup=0.01,
+    duration=0.08,
+    num_clients=4,
+    key_space=200,
+    initial_keys=100,
+    probe_keys=None,
+    kinds=SIM_KINDS,
+    link_profile=None,
+    record_schedule=True,
+):
+    """Run one seeded nemesis episode on the simulated runtime.
+
+    Virtual time makes the whole episode deterministic: re-running the
+    same seed yields a byte-identical fault schedule (``schedule_digest``).
+    """
+    if probe_keys is None:
+        # Half present initially, half initially absent: reads exercise
+        # both value and not-found results.
+        probe_keys = tuple(range(initial_keys - 4, initial_keys + 4))
+    plane = FaultPlane(
+        seed=derive_seed(seed, "plane"),
+        retransmit_backoff=0.001,
+        record_schedule=record_schedule,
+    )
+    profile = (
+        link_profile
+        if link_profile is not None
+        else link_profile_from_seed(seed, scale=0.2)
+    )
+    plane.set_link(**profile)
+    nemesis = Nemesis(seed, num_replicas, steps=steps, mean_gap=mean_gap, kinds=kinds)
+    system = build_kv_system(
+        "P-SMR",
+        mpl,
+        mix=mixed_workload(0.15),
+        num_clients=num_clients,
+        key_space=key_space,
+        initial_keys=initial_keys,
+        execute_state=True,
+        seed=seed,
+        checkpoint_policy=CheckpointPolicy(every_seconds=0.02),
+        fault_plane=plane,
+        num_replicas=num_replicas,
+    )
+    recorder = HistoryRecorder()
+    tap = _SimHistoryTap(system.clients, probe_keys, recorder)
+    report = {
+        "runtime": "sim",
+        "seed": seed,
+        "link_profile": dict(profile, delay_range=list(profile["delay_range"])),
+        "plan": [op.describe() for op in nemesis.plan],
+        "applied": [],
+        "failures": [],
+        "recovery_s": [],
+    }
+    from repro.replication.base import call_after
+
+    # The measured window must cover the whole plan: an op firing during
+    # the drain phase (e.g. a crash nobody recovers) would be a harness
+    # artifact, not a protocol bug.
+    plan_horizon = nemesis.plan[-1].at if nemesis.plan else 0.0
+    duration = max(duration, plan_horizon + 2 * mean_gap)
+    finalizing = {"on": False}
+
+    def apply_op(op):
+        if finalizing["on"]:
+            report["applied"].append(
+                {"op": op.describe(), "status": "dropped", "detail": "after final heal"}
+            )
+            return
+        status, detail = "ok", ""
+        try:
+            if op.kind == "partition":
+                plane.isolate(f"replica{op.target}")
+            elif op.kind == "heal":
+                plane.heal()
+            elif op.kind == "crash":
+                system.crash_replica(op.target)
+            elif op.kind == "recover":
+                system.recover_replica(op.target)
+            elif op.kind == "checkpoint":
+                system.submit_checkpoint_marker()
+        except RecoveryError as exc:
+            status, detail = "skipped", str(exc)
+        report["applied"].append({"op": op.describe(), "status": status, "detail": detail})
+
+    for op in nemesis.plan:
+        call_after(system.env, warmup + op.at, lambda op=op: apply_op(op))
+    result = system.run(warmup=warmup, duration=duration)
+    # Final phase: heal, recover the still-crashed, drain.
+    finalizing["on"] = True
+    plane.heal()
+    for replica_id, replica in enumerate(system.replicas):
+        if replica["health"].crashed:
+            try:
+                system.recover_replica(replica_id)
+            except RecoveryError:
+                pass  # a recovery marker for it is already in flight
+    outstanding = system.quiesce(limit=5.0)
+    guard = system.env.now + 5.0
+    while (
+        any(not record.done for record in system.recoveries)
+        and system.env.now < guard
+        and system.env.peek() is not None
+    ):
+        system.env.step()
+    outstanding = system.quiesce(limit=1.0) or outstanding
+    # The periodic checkpoint clock keeps ordering markers forever, so the
+    # plane is only *momentarily* empty between marker batches; step to
+    # such an instant before sampling the drain state.
+    guard = system.env.now + 1.0
+    while (
+        system.fault_in_flight() > 0
+        and system.env.now < guard
+        and system.env.peek() is not None
+    ):
+        system.env.step()
+    tap.finish_pending()
+    report["throughput_kcps"] = result.throughput_kcps
+    report["avg_latency_ms"] = result.avg_latency_ms
+    report["completed"] = result.completed
+    report["outstanding"] = outstanding
+    report["fault_in_flight"] = system.fault_in_flight()
+    report["recovery_s"] = [
+        record.completed_at - record.started_at
+        for record in system.recoveries
+        if record.done and record.completed_at is not None
+    ]
+    report["recoveries_done"] = all(record.done for record in system.recoveries)
+    states = [system.replica_state(r).snapshot() for r in range(num_replicas)]
+    counts = [system.replica_state(r).commands_executed for r in range(num_replicas)]
+    report["converged"] = all(s == states[0] for s in states) and len(set(counts)) == 1
+    try:
+        check_kv_history(
+            recorder.operations,
+            initial_state={k: _SEED_VALUE for k in probe_keys if k < initial_keys},
+        )
+        report["linearizable"] = True
+    except LinearizabilityViolation as violation:
+        report["linearizable"] = False
+        report["failures"].append(f"linearizability: {violation}")
+    report["probe_operations"] = len(recorder.operations)
+    report["plane_stats"] = dict(plane.stats)
+    report["schedule_digest"] = _digest(plane)
+    if outstanding:
+        report["failures"].append(f"{outstanding} commands still outstanding after quiesce")
+    if report["fault_in_flight"]:
+        report["failures"].append("fault plane still holds in-flight deliveries")
+    if not report["recoveries_done"]:
+        report["failures"].append("a recovery never completed")
+    if not report["converged"]:
+        report["failures"].append("replica states diverged")
+    report["ok"] = not report["failures"]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Oracle assertion with seed-printing artifact
+# ----------------------------------------------------------------------
+
+def assert_episode_ok(report, artifact_dir=None):
+    """Assert an episode passed; on failure, print the seed and save an artifact.
+
+    The assertion message always contains the seed and a one-command
+    reproduction hint.  ``artifact_dir`` (or the ``NEMESIS_ARTIFACT_DIR``
+    environment variable) selects where the failing episode's JSON record
+    (seed, plan, applied ops, history) is written.
+    """
+    if report["ok"]:
+        return report
+    directory = artifact_dir or os.environ.get("NEMESIS_ARTIFACT_DIR")
+    artifact_path = None
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        artifact_path = os.path.join(
+            directory, f"nemesis-{report['runtime']}-seed{report['seed']}.json"
+        )
+        with open(artifact_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=repr)
+    raise AssertionError(
+        f"nemesis episode FAILED (runtime={report['runtime']}, seed={report['seed']}): "
+        + "; ".join(report["failures"])
+        + f"\nreproduce: run_{'threaded' if report['runtime'] == 'threaded' else 'sim'}"
+        f"_nemesis_episode(seed={report['seed']})"
+        + (f"\nartifact: {artifact_path}" if artifact_path else "")
+    )

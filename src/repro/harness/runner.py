@@ -66,6 +66,8 @@ def build_kv_system(
     initial_keys=0,
     checkpoint_policy=None,
     delivery_batching=False,
+    fault_plane=None,
+    num_replicas=None,
 ):
     """Construct (but do not run) one technique over the key-value store."""
     mix = mix if mix is not None else READ_ONLY_MIX
@@ -73,8 +75,13 @@ def build_kv_system(
         raise ConfigurationError(
             "periodic checkpoint policies are implemented for P-SMR only"
         )
+    if fault_plane is not None and technique != "P-SMR":
+        raise ConfigurationError(
+            "the network fault plane is implemented for P-SMR only"
+        )
     num_clients = num_clients if num_clients is not None else default_clients(technique, threads)
-    num_replicas = 1 if technique in ("no-rep", "BDB") else 2
+    if num_replicas is None:
+        num_replicas = 1 if technique in ("no-rep", "BDB") else 2
     config = _base_config(threads, num_clients, seed, num_replicas=num_replicas)
     config.multicast.delivery_batching = delivery_batching
     if batch_max_bytes is not None:
@@ -100,6 +107,7 @@ def build_kv_system(
             config, generator, profile, spec=KVSTORE_SPEC, coarse_cg=coarse_cg,
             merge_policy=merge_policy, execute_state=execute_state,
             state_factory=state_factory, checkpoint_policy=checkpoint_policy,
+            fault_plane=fault_plane,
         )
     if technique == "SMR":
         return SMRSystem(

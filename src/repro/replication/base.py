@@ -22,7 +22,7 @@ from repro.consensus import Acceptor, Batcher, ClientValue, Coordinator
 from repro.core.command import Command
 from repro.metrics import CpuAccountant, ExperimentResult, LatencyRecorder, ThroughputMeter
 from repro.multicast.merge import MergeBuffer
-from repro.sim import Environment, Event, Store
+from repro.sim import Environment, Event, Store, poll_until
 
 
 def call_after(env, delay, callback):
@@ -210,10 +210,78 @@ class ClientPool:
             self._submit_new(uid[0])
 
 
-class SimStream:
-    """One multicast group: ordering through Paxos plus delivery to subscribers."""
+class SimFaultyLink:
+    """One stream->subscriber edge under a network fault plane.
 
-    def __init__(self, env, stream_id, multicast_config, costs, rng, cpu=None, name=None):
+    The link is a FIFO with head-of-line blocking, like one TCP
+    connection: sends queue in order and each is released no earlier than
+    its planned ready time *and* no earlier than its predecessors — extra
+    latency on one message delays its successors rather than overtaking
+    them, so the subscriber's merge buffer never sees a stream sequence go
+    backwards.  While the plane reports the link severed (a partition),
+    the head of the queue polls connectivity with the plane's retransmit
+    backoff: a partition is an infinite-delay link until healed, never a
+    loss.  ``pending()`` feeds the system's quiescence check; sends with
+    ``counted=False`` (heartbeat skips — the streams emit those forever,
+    so one is in flight at almost any instant) still traverse the FIFO
+    but are excluded from that count, which would otherwise never settle.
+    """
+
+    def __init__(self, env, plane, src, dst, name):
+        self.env = env
+        self.plane = plane
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self._queue = []
+        self._head = 0
+        self._running = False
+        self._counted = 0
+
+    def send(self, ready_at, deliver_fn, counted=True):
+        self._queue.append((ready_at, deliver_fn, counted))
+        if counted:
+            self._counted += 1
+        if not self._running:
+            self._running = True
+            self.env.process(self._drain(), name=self.name)
+
+    def pending(self):
+        return self._counted
+
+    def _drain(self):
+        while self._head < len(self._queue):
+            ready_at, deliver_fn, counted = self._queue[self._head]
+            if self.env.now < ready_at:
+                yield self.env.timeout(ready_at - self.env.now)
+            yield from poll_until(
+                self.env,
+                lambda: not self.plane.is_blocked(self.src, self.dst),
+                self.plane.retransmit_backoff,
+                on_wait=self.plane.note_blocked_retry,
+            )
+            self._head += 1
+            if counted:
+                self._counted -= 1
+            deliver_fn()
+        del self._queue[:]
+        self._head = 0
+        self._running = False
+
+
+class SimStream:
+    """One multicast group: ordering through Paxos plus delivery to subscribers.
+
+    With ``fault_plane`` set, every delivery (batches and skips alike)
+    detours through a per-subscriber :class:`SimFaultyLink`:
+    ``fault_node_namer(subscriber)`` names the destination node the plane
+    knows, the plane plans per-copy delays (the earliest surviving copy
+    wins — redundant duplicates carry no new information in-simulation),
+    and the link releases deliveries in order.
+    """
+
+    def __init__(self, env, stream_id, multicast_config, costs, rng, cpu=None, name=None,
+                 fault_plane=None, fault_node_namer=None):
         self.env = env
         self.stream_id = stream_id
         self.config = multicast_config
@@ -235,6 +303,9 @@ class SimStream:
         )
         self._complete_phase1()
         self.subscribers = []
+        self.fault_plane = fault_plane
+        self._fault_node_namer = fault_node_namer
+        self._fault_links = {}
         self._ready = Store(env)
         self._flush_scheduled = False
         self._last_delivery_at = {}
@@ -335,13 +406,46 @@ class SimStream:
                 self._last_delivery_at.get(index, 0.0) + self._LINK_FIFO_EPSILON,
             )
             self._last_delivery_at[index] = deliver_at
-            call_after(
-                self.env,
-                deliver_at - self.env.now,
+            self._send(
+                index,
+                subscriber,
+                deliver_at,
                 lambda s=subscriber, b=batch, t=timestamp: s.offer(
                     self.stream_id, b.sequence, t, b
                 ),
             )
+
+    def _send(self, index, subscriber, deliver_at, deliver_fn, plan=True):
+        """Dispatch one delivery: inline when fault-free, else via the link.
+
+        ``plan=False`` (heartbeat skips) still traverses the link — skips
+        must stay FIFO with batches and park during partitions — but does
+        not consume fault randomness: a skip is idle-time control traffic,
+        and charging it fault decisions would both bloat the replayable
+        schedule and keep the drain check permanently busy.
+        """
+        if self.fault_plane is None:
+            call_after(self.env, deliver_at - self.env.now, deliver_fn)
+            return
+        link = self._fault_links.get(index)
+        if link is None:
+            node = (
+                self._fault_node_namer(subscriber)
+                if self._fault_node_namer is not None
+                else f"{self.name}-sub{index}"
+            )
+            link = self._fault_links[index] = SimFaultyLink(
+                self.env, self.fault_plane, "order", node,
+                name=f"{self.name}-link{index}",
+            )
+        extra = 0.0
+        if plan:
+            extra = min(self.fault_plane.plan_delivery("order", link.dst))
+        link.send(deliver_at + extra, deliver_fn, counted=plan)
+
+    def fault_in_flight(self):
+        """Deliveries currently held by this stream's fault links."""
+        return sum(link.pending() for link in self._fault_links.values())
 
     def _heartbeat_loop(self):
         """Emit skip messages while the stream is idle (Multi-Ring Paxos style).
@@ -369,12 +473,14 @@ class SimStream:
                     self._last_delivery_at.get(index, 0.0) + self._LINK_FIFO_EPSILON,
                 )
                 self._last_delivery_at[index] = deliver_at
-                call_after(
-                    self.env,
-                    deliver_at - self.env.now,
+                self._send(
+                    index,
+                    subscriber,
+                    deliver_at,
                     lambda s=subscriber, q=sequence, t=timestamp: s.offer_skip(
                         self.stream_id, q, t
                     ),
+                    plan=False,
                 )
 
 
@@ -567,17 +673,37 @@ class BaseSystem:
             self.env, at - self.env.now, lambda: self.recover_replica(replica_id)
         )
 
+    def fault_in_flight(self):
+        """Deliveries currently delayed or parked by a network fault plane.
+
+        Zero when no fault plane is attached.  Quiescence must include
+        this: a delayed or partition-parked delivery is in flight, and a
+        drain check that ignores it can declare the system quiet while a
+        replica is merely behind.
+        """
+        streams = getattr(self, "streams", None)
+        if not streams:
+            return 0
+        return sum(
+            stream.fault_in_flight()
+            for stream in streams.values()
+            if hasattr(stream, "fault_in_flight")
+        )
+
     def quiesce(self, grace=0.05, limit=2.0):
         """Stop the load and let every replica finish the commands in flight.
 
         Clients stop replacing completed commands; the simulation then runs
-        until every outstanding command has a response, plus ``grace``
-        seconds so slower replicas drain their delivery queues too.  Used by
-        tests that compare replica states after a run.
+        until every outstanding command has a response *and* no delivery is
+        still held by the fault plane, plus ``grace`` seconds so slower
+        replicas drain their delivery queues too.  Used by tests that
+        compare replica states after a run.
         """
         self.clients.stopped = True
         deadline = self.env.now + limit
-        while self.clients.outstanding() > 0 and self.env.now < deadline:
+        while (
+            self.clients.outstanding() > 0 or self.fault_in_flight() > 0
+        ) and self.env.now < deadline:
             if self.env.peek() is None:
                 break
             self.env.step()

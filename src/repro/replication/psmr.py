@@ -337,11 +337,15 @@ class PSMRSystem(BaseSystem):
 
     def __init__(self, config, generator, profile, spec, coarse_cg=False,
                  merge_policy=None, execute_state=False, state_factory=None,
-                 checkpoint_policy=None):
+                 checkpoint_policy=None, fault_plane=None):
         self.spec = spec
         self.coarse_cg = coarse_cg
         self._merge_policy_override = merge_policy
         self.checkpoint_policy = checkpoint_policy
+        #: Optional shared network fault plane (see :mod:`repro.common.faults`):
+        #: ordered deliveries to replica ``r`` traverse the plane's
+        #: ``order -> replica<r>`` link.
+        self.fault_plane = fault_plane
         super().__init__(
             config,
             generator,
@@ -368,6 +372,8 @@ class PSMRSystem(BaseSystem):
                 rng=self.rng.child("stream", stream_id),
                 cpu=self.cpu,
                 name=f"g{stream_id}" if stream_id else "g_all",
+                fault_plane=self.fault_plane,
+                fault_node_namer=lambda worker: f"replica{worker.replica_id}",
             )
         self.replicas = []
         self.recoveries = []

@@ -17,7 +17,12 @@ the property the paper's deterministic merge provides.
 from repro.common.checkpoint import CheckpointPolicy
 from repro.runtime.multicast import LocalAtomicMulticast
 from repro.runtime.cluster import CheckpointMarker, ThreadedPSMRCluster, ThreadedClient
-from repro.runtime.linearizability import HistoryRecorder, check_linearizable
+from repro.runtime.linearizability import (
+    HistoryRecorder,
+    Operation,
+    check_kv_history,
+    check_linearizable,
+)
 
 __all__ = [
     "CheckpointMarker",
@@ -26,5 +31,7 @@ __all__ = [
     "ThreadedPSMRCluster",
     "ThreadedClient",
     "HistoryRecorder",
+    "Operation",
+    "check_kv_history",
     "check_linearizable",
 ]

@@ -528,7 +528,7 @@ class ThreadedPSMRCluster:
                  coarse_cg=False, barrier_timeout=10.0, seed=0,
                  log_retention=None, checkpoint_policy=None,
                  checkpoint_poll_interval=0.005, store_dir=None,
-                 delivery_batch_size=32, wire_codec=None):
+                 delivery_batch_size=32, wire_codec=None, fault_plane=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         if delivery_batch_size < 1:
@@ -543,8 +543,12 @@ class ThreadedPSMRCluster:
         #: "before" arm).
         self.delivery_batch_size = delivery_batch_size
         self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
+        #: Optional shared network fault plane; deliveries detour through
+        #: the multicast's :class:`FaultyLinkPipe` when set.
+        self.fault_plane = fault_plane
         self.multicast = LocalAtomicMulticast(
-            mpl, retention=log_retention, wire_codec=wire_codec
+            mpl, retention=log_retention, wire_codec=wire_codec,
+            fault_plane=fault_plane,
         )
         self.checkpoint_policy = checkpoint_policy
         self.checkpoint_poll_interval = checkpoint_poll_interval

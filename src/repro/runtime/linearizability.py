@@ -4,8 +4,24 @@ Used by the threaded-runtime tests to validate the paper's correctness
 claim (section IV-E): P-SMR is linearizable.  The checker is the classic
 Wing & Gong search — exponential in the worst case, so tests keep
 histories small (tens of operations).
+
+Two details matter for nemesis histories:
+
+* **Result matching is type-strict.**  Python's ``==`` conflates ``True``
+  with ``1`` and ``False`` with ``0``, so a naive ``result in (...)``
+  acceptance test lets an error code ``1`` pass as a successful update
+  and an "OK" ``0`` pass as an "already exists" failure.  The checker
+  compares booleans by identity and everything else by equality.
+* **Invoke-without-return is possibly-applied.**  An operation whose
+  response was lost (client timed out, replica crashed before replying)
+  is recorded with ``returned_at=None``.  The search may linearize it at
+  any point after its invocation — applying its effect but ignoring its
+  (nonexistent) result — or omit it entirely; only responded operations
+  are required in a linearization.  This is the standard treatment of
+  pending invocations: the operation may or may not have taken effect.
 """
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -16,14 +32,23 @@ from repro.common.errors import LinearizabilityViolation
 
 @dataclass
 class Operation:
-    """One invocation/response pair observed by a client."""
+    """One invocation/response pair observed by a client.
+
+    ``returned_at=None`` marks a pending invocation: the client never saw
+    a response, so the operation is *possibly applied* and its ``result``
+    is meaningless.
+    """
 
     client_id: int
     name: str
     args: dict
     result: Any
     invoked_at: float
-    returned_at: float
+    returned_at: Optional[float]
+
+    @property
+    def pending(self):
+        return self.returned_at is None
 
 
 @dataclass
@@ -48,12 +73,36 @@ class HistoryRecorder:
             self.operations.append(operation)
         return operation
 
+    def record_pending(self, client_id, name, args, invoked_at):
+        """Record an invocation whose response was never observed."""
+        return self.record(client_id, name, args, None, invoked_at, None)
+
     def timed_call(self, client_id, name, args, call):
-        """Invoke ``call()`` and record its timing and result."""
+        """Invoke ``call()`` and record its timing and result.
+
+        If ``call()`` raises, the invocation is recorded as pending (the
+        operation may still be applied server-side) and the exception is
+        re-raised.
+        """
         invoked_at = time.monotonic()
-        result = call()
+        try:
+            result = call()
+        except Exception:
+            self.record_pending(client_id, name, args, invoked_at)
+            raise
         returned_at = time.monotonic()
         return self.record(client_id, name, args, result, invoked_at, returned_at)
+
+
+def _result_matches(result, accepted):
+    """Type-strict membership: booleans never match ints and vice versa."""
+    for value in accepted:
+        if isinstance(value, bool) or isinstance(result, bool):
+            if result is value:
+                return True
+        elif result == value:
+            return True
+    return False
 
 
 def _kv_apply(state, operation: Operation):
@@ -70,23 +119,23 @@ def _kv_apply(state, operation: Operation):
         return result == expected, state
     if name == "update":
         if key in state:
-            ok = result in ("ok", True, None) or result == 0
+            ok = _result_matches(result, ("ok", True, None, 0))
             new_state = dict(state)
             new_state[key] = operation.args.get("value")
             return ok, new_state
-        return result in ("missing", "err=1", 1, False), state
+        return _result_matches(result, ("missing", "err=1", 1, False)), state
     if name == "insert":
         if key in state:
-            return result in ("exists", "err=2", 2, False), state
+            return _result_matches(result, ("exists", "err=2", 2, False)), state
         new_state = dict(state)
         new_state[key] = operation.args.get("value")
-        return result in ("ok", True, None, 0), new_state
+        return _result_matches(result, ("ok", True, None, 0)), new_state
     if name == "delete":
         if key in state:
             new_state = dict(state)
             del new_state[key]
-            return result in ("ok", True, None, 0), new_state
-        return result in ("missing", "err=1", 1, False), state
+            return _result_matches(result, ("ok", True, None, 0)), new_state
+        return _result_matches(result, ("missing", "err=1", 1, False)), state
     raise LinearizabilityViolation(f"unknown operation {name!r} in history")
 
 
@@ -95,13 +144,23 @@ def check_linearizable(operations, initial_state=None, apply_fn=_kv_apply):
 
     The search respects real-time order: an operation can only be linearized
     once every operation that *returned before it was invoked* has been
-    linearized.
+    linearized.  Pending operations (``returned_at is None``) never
+    constrain real-time order, are optional in a linearization, and have
+    their result check skipped when included (possibly-applied semantics).
     """
     operations = list(operations)
     initial_state = dict(initial_state or {})
     n = len(operations)
     if n == 0:
         return True
+    required_mask = 0
+    returned = []
+    for index, operation in enumerate(operations):
+        if operation.returned_at is None:
+            returned.append(math.inf)
+        else:
+            required_mask |= 1 << index
+            returned.append(operation.returned_at)
 
     seen_configurations = set()
 
@@ -109,7 +168,7 @@ def check_linearizable(operations, initial_state=None, apply_fn=_kv_apply):
         return tuple(sorted(state.items()))
 
     def search(done_mask, state):
-        if done_mask == (1 << n) - 1:
+        if done_mask & required_mask == required_mask:
             return True
         configuration = (done_mask, freeze(state))
         if configuration in seen_configurations:
@@ -118,13 +177,13 @@ def check_linearizable(operations, initial_state=None, apply_fn=_kv_apply):
         # The minimal return time among pending operations bounds which
         # operations may be linearized next (real-time order).
         pending = [i for i in range(n) if not done_mask & (1 << i)]
-        earliest_return = min(operations[i].returned_at for i in pending)
+        earliest_return = min(returned[i] for i in pending)
         for i in pending:
             operation = operations[i]
             if operation.invoked_at > earliest_return:
                 continue
             ok, new_state = apply_fn(state, operation)
-            if not ok:
+            if not ok and not operation.pending:
                 continue
             if search(done_mask | (1 << i), new_state):
                 return True
@@ -135,3 +194,27 @@ def check_linearizable(operations, initial_state=None, apply_fn=_kv_apply):
     raise LinearizabilityViolation(
         f"history of {n} operations admits no linearization"
     )
+
+
+def check_kv_history(operations, initial_state=None, apply_fn=_kv_apply):
+    """Check a single-key KV history per key (Herlihy–Wing locality).
+
+    Every operation of the key-value service touches exactly one key, so
+    a history is linearizable iff its per-key sub-histories are — and the
+    per-key searches stay tractable where one global search would blow
+    up.  Raises :class:`LinearizabilityViolation` naming the first
+    non-linearizable key.
+    """
+    initial_state = dict(initial_state or {})
+    by_key = {}
+    for operation in operations:
+        by_key.setdefault(operation.args.get("key"), []).append(operation)
+    for key, key_operations in sorted(by_key.items(), key=lambda item: repr(item[0])):
+        key_state = {key: initial_state[key]} if key in initial_state else {}
+        try:
+            check_linearizable(key_operations, key_state, apply_fn)
+        except LinearizabilityViolation as violation:
+            raise LinearizabilityViolation(
+                f"key {key!r}: {violation}"
+            ) from violation
+    return True

@@ -1,13 +1,16 @@
 """In-process atomic multicast for the threaded runtime."""
 
 import collections
+import heapq
 import itertools
 import pickle
 import queue
 import threading
+import time
 
 from repro.common import codec as _codec
 from repro.common.errors import ConfigurationError, RecoveryError
+from repro.common.faults import ReliableLink
 from repro.core.command import Command
 from repro.multicast.group import ALL_GROUPS, GroupLayout
 
@@ -70,6 +73,143 @@ class DeliveryQueue:
             return not self._items
 
 
+class FaultyLinkPipe:
+    """Background delivery pipe applying a :class:`FaultPlane` to each link.
+
+    When the multicast has a fault plane, ordered messages are no longer
+    put on worker queues inline: each (replica, thread) link gets per-link
+    sequence numbers and the plane plans per-copy arrival delays.  One
+    background thread pops copies from a time-ordered heap; at fire time a
+    copy whose link is partitioned is pushed back ``retransmit_backoff``
+    later (a partition is latency, not loss), and surviving copies pass
+    through a receiver-side :class:`ReliableLink` that deduplicates and
+    releases in sequence order — so the worker queue still sees a
+    gap-free FIFO stream and the multicast's ordering guarantees hold
+    under every fault.
+
+    ``in_flight()`` counts copies still in the heap plus items parked in
+    reassembly buffers; :meth:`LocalAtomicMulticast.pending_count` adds it
+    so drain checks cannot return early during a delay window.  Per-replica
+    incarnation counters, bumped when a replica's queues are (un)registered,
+    invalidate copies addressed to a crashed or replaced registration.
+    """
+
+    def __init__(self, fault_plane):
+        self.plane = fault_plane
+        self._cond = threading.Condition()
+        self._heap = []
+        self._tiebreak = itertools.count()
+        self._incarnations = {}  # replica_id -> int
+        self._send_seq = {}  # (replica_id, thread_index) -> next link sequence
+        self._recv = {}  # (replica_id, thread_index) -> ReliableLink
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="psmr-fault-pipe", daemon=True
+        )
+        self._thread.start()
+
+    @staticmethod
+    def node_name(replica_id):
+        return f"replica{replica_id}"
+
+    def reset_replica(self, replica_id):
+        """Invalidate in-flight copies and link state for one replica."""
+        with self._cond:
+            self._incarnations[replica_id] = self._incarnations.get(replica_id, 0) + 1
+            for key in [k for k in self._send_seq if k[0] == replica_id]:
+                del self._send_seq[key]
+            for key in [k for k in self._recv if k[0] == replica_id]:
+                del self._recv[key]
+            self._cond.notify()
+
+    def send(self, replica_id, targets, item):
+        """Route ``item`` to ``[(thread_index, queue)]`` of one replica."""
+        delays = self.plane.plan_delivery("order", self.node_name(replica_id))
+        now = time.monotonic()
+        with self._cond:
+            incarnation = self._incarnations.get(replica_id, 0)
+            for thread_index, delivery_queue in targets:
+                key = (replica_id, thread_index)
+                sequence = self._send_seq.get(key, 0)
+                self._send_seq[key] = sequence + 1
+                for delay in delays:
+                    heapq.heappush(
+                        self._heap,
+                        (
+                            now + delay,
+                            next(self._tiebreak),
+                            key,
+                            incarnation,
+                            sequence,
+                            delivery_queue,
+                            item,
+                        ),
+                    )
+            self._cond.notify()
+
+    def in_flight(self, replica_id=None):
+        """Copies in the heap plus reassembly-parked items (live links only)."""
+        with self._cond:
+            count = 0
+            for _due, _tb, key, incarnation, _seq, _q, _item in self._heap:
+                if incarnation != self._incarnations.get(key[0], 0):
+                    continue
+                if replica_id is None or key[0] == replica_id:
+                    count += 1
+            for key, link in self._recv.items():
+                if replica_id is None or key[0] == replica_id:
+                    count += link.pending()
+            return count
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+        self._thread.join(timeout=5.0)
+
+    def _run(self):
+        backoff = self.plane.retransmit_backoff
+        while True:
+            released = None
+            with self._cond:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                if not self._heap:
+                    self._cond.wait(timeout=0.1)
+                    continue
+                due = self._heap[0][0]
+                if due > now:
+                    self._cond.wait(timeout=min(due - now, 0.1))
+                    continue
+                entry = heapq.heappop(self._heap)
+                _due, _tb, key, incarnation, sequence, delivery_queue, item = entry
+                replica_id, _thread_index = key
+                if incarnation != self._incarnations.get(replica_id, 0):
+                    continue
+                if self.plane.is_blocked("order", self.node_name(replica_id)):
+                    self.plane.note_blocked_retry()
+                    heapq.heappush(
+                        self._heap,
+                        (
+                            now + backoff,
+                            next(self._tiebreak),
+                            key,
+                            incarnation,
+                            sequence,
+                            delivery_queue,
+                            item,
+                        ),
+                    )
+                    continue
+                link = self._recv.get(key)
+                if link is None:
+                    link = self._recv[key] = ReliableLink()
+                released = link.accept(sequence, item)
+            if released:
+                delivery_queue.put_many(released)
+
+
 def encode_wire(command, wire_codec):
     """Serialise a command for the wire with the named codec."""
     if wire_codec == "binary":
@@ -105,13 +245,18 @@ class LocalAtomicMulticast:
     :class:`~repro.common.errors.RecoveryError`.
     """
 
-    def __init__(self, mpl, retention=None, wire_codec=None):
+    def __init__(self, mpl, retention=None, wire_codec=None, fault_plane=None):
         if mpl < 1:
             raise ConfigurationError("multiprogramming level must be >= 1")
         if retention is not None and retention < 1:
             raise ConfigurationError("log retention must be >= 1 (or None)")
         if wire_codec not in (None, "binary", "pickle"):
             raise ConfigurationError(f"unknown wire codec {wire_codec!r}")
+        #: Optional :class:`~repro.common.faults.FaultPlane`; when set, all
+        #: deliveries detour through a :class:`FaultyLinkPipe` instead of
+        #: the inline fast path.
+        self.fault_plane = fault_plane
+        self._pipe = FaultyLinkPipe(fault_plane) if fault_plane is not None else None
         self.layout = GroupLayout(mpl)
         self.mpl = mpl
         #: ``None`` passes command objects by reference (zero-copy, the
@@ -181,6 +326,12 @@ class LocalAtomicMulticast:
                 for thread_index in queues:
                     self._queues.pop((replica_id, thread_index), None)
                 raise
+            if self._pipe is not None:
+                # Fresh incarnation: link sequences restart at zero and any
+                # copy still in flight toward the old registration is void.
+                # The replayed suffix above bypasses the pipe deliberately —
+                # recovery replay is a local handover, not network traffic.
+                self._pipe.reset_replica(replica_id)
             return queues
 
     def _register_locked(self, replica_id, thread_index):
@@ -198,6 +349,8 @@ class LocalAtomicMulticast:
             keys = [key for key in self._queues if key[0] == replica_id]
             queues = {key[1]: self._queues.pop(key) for key in keys}
             self._routes.clear()
+            if self._pipe is not None:
+                self._pipe.reset_replica(replica_id)
             return queues
 
     def replica_ids(self):
@@ -236,17 +389,32 @@ class LocalAtomicMulticast:
             if self._retention is not None and len(self._log) > self._retention:
                 del self._log[: len(self._log) - self._retention]
                 self._min_retained = self._log[0][0]
-            route = self._routes.get(threads)
-            if route is None:
-                route = [
-                    queue
-                    for (_replica, thread_index), queue in self._queues.items()
-                    if thread_index in threads
-                ]
-                self._routes[threads] = route
             item = (sequence, destinations, payload)
-            for delivery_queue in route:
-                delivery_queue.put(item)
+            if self._pipe is not None:
+                # Fault path: group targets per replica so the plane plans
+                # one per-replica delivery (all threads of a replica share
+                # the planned copies, like one connection per peer), in a
+                # stable replica order so the plane's rng draws line up
+                # across replays of the same ordered-message sequence.
+                by_replica = {}
+                for (replica, thread_index), delivery_queue in self._queues.items():
+                    if thread_index in threads:
+                        by_replica.setdefault(replica, []).append(
+                            (thread_index, delivery_queue)
+                        )
+                for replica in sorted(by_replica):
+                    self._pipe.send(replica, by_replica[replica], item)
+            else:
+                route = self._routes.get(threads)
+                if route is None:
+                    route = [
+                        queue
+                        for (_replica, thread_index), queue in self._queues.items()
+                        if thread_index in threads
+                    ]
+                    self._routes[threads] = route
+                for delivery_queue in route:
+                    delivery_queue.put(item)
         return sequence
 
     # ------------------------------------------------------------------
@@ -297,13 +465,22 @@ class LocalAtomicMulticast:
     # Drain inspection (public API: no reaching into ``_queues``)
     # ------------------------------------------------------------------
     def pending_count(self, replica_id=None):
-        """Undelivered messages across all queues (or one replica's)."""
+        """Undelivered messages across all queues (or one replica's).
+
+        Includes messages still held by the fault plane's delivery pipe —
+        delayed, retransmitting, partition-parked or awaiting in-order
+        reassembly — so a drain check cannot report an empty system while
+        copies are merely late.
+        """
         with self._lock:
-            return sum(
+            count = sum(
                 delivery_queue.qsize()
                 for (queue_replica, _thread), delivery_queue in self._queues.items()
                 if replica_id is None or queue_replica == replica_id
             )
+        if self._pipe is not None:
+            count += self._pipe.in_flight(replica_id)
+        return count
 
     def is_drained(self, replica_id=None):
         """True when every delivery queue (or one replica's) is empty."""
@@ -311,6 +488,8 @@ class LocalAtomicMulticast:
 
     def shutdown(self):
         """Deliver a poison pill to every registered thread."""
+        if self._pipe is not None:
+            self._pipe.close()
         with self._lock:
             for delivery_queue in self._queues.values():
                 delivery_queue.put(None)

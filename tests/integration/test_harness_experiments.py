@@ -12,6 +12,7 @@ from repro.harness.experiments import (
     run_fig6_mixed,
     run_fig7_skew,
     run_fig8_netfs,
+    run_nemesis,
     run_table1,
 )
 
@@ -73,6 +74,23 @@ def test_fig8_reads_and_writes():
         if row["technique"] == "P-SMR" and row["operation"] == "read"
     )
     assert psmr_read["factor_vs_SMR"] > 1.5
+
+
+def test_nemesis_experiment_smoke():
+    result = run_nemesis(**TINY, seed=3)
+    faults = [row["fault"] for row in result["rows"]]
+    assert faults[0] == "baseline"
+    assert {"drop", "delay", "partition", "crash"} <= set(faults)
+    assert all(row["converged"] for row in result["rows"])
+    # The lossy arms must actually cost throughput relative to baseline.
+    by_fault = {row["fault"]: row for row in result["rows"]}
+    assert by_fault["drop"]["degradation_pct"] > 0
+    # Both seeded oracle episodes pass, and the seed is printed for
+    # one-command reproduction.
+    assert result["summary"]["sim_episode_ok"] is True
+    assert result["summary"]["threaded_episode_ok"] is True
+    assert "--seed 3" in result["summary"]["reproduce"]
+    assert "seeded randomized episodes" in result["text"]
 
 
 def test_ablation_drivers_return_rows():

@@ -1,0 +1,224 @@
+"""Nemesis suite: named fault scenarios + seeded randomized episodes.
+
+The oracle for every scenario is the same three-part check the paper's
+correctness claim rests on (section IV-E): the client-visible history is
+linearizable, all replicas converge to identical service state, and no
+checkpoint marker ever cuts through a half-executed batch
+(``marker_boundary_violations == 0``).  Faults are injected through the
+shared :class:`~repro.common.faults.FaultPlane`, which models the paper's
+reliable multicast: faults are latency, never loss or reordering at the
+delivery boundary.
+
+Every randomized episode is seeded; a failing episode prints its seed
+(and writes a JSON artifact when ``NEMESIS_ARTIFACT_DIR`` is set), and
+re-running with that seed regenerates the identical nemesis plan — in
+the simulated runtime the entire fault schedule replays byte-for-byte.
+"""
+
+import pytest
+
+from repro.common.faults import FaultPlane, Nemesis
+from repro.harness.nemesis import (
+    SIM_KINDS,
+    THREADED_KINDS,
+    assert_episode_ok,
+    run_sim_nemesis_episode,
+    run_threaded_nemesis_episode,
+)
+from repro.runtime import HistoryRecorder, ThreadedPSMRCluster, check_kv_history
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+
+def make_cluster(plane, num_replicas=2, mpl=2, **kwargs):
+    return ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=16),
+        mpl=mpl,
+        num_replicas=num_replicas,
+        seed=7,
+        fault_plane=plane,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Named scenarios, threaded runtime
+# ----------------------------------------------------------------------
+
+class TestPartitionHealThreaded:
+    def test_partitioned_replica_catches_up_after_heal(self):
+        plane = FaultPlane(seed=3, retransmit_backoff=0.005)
+        with make_cluster(plane) as cluster:
+            client = cluster.client()
+            plane.isolate("replica1")
+            for key in range(16):
+                client.invoke("update", key=key, value=b"during-partition")
+            # The isolated replica's deliveries are parked in the pipe, so
+            # the multicast must report them as still pending (this is the
+            # quiescence fix: a partition window must not look drained).
+            assert cluster.multicast.pending_count(1) > 0
+            plane.heal()
+            cluster.wait_for_quiescence(timeout=20.0)
+            assert cluster.multicast.pending_count() == 0
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            assert snapshots[0] == snapshots[1]
+
+    def test_quiescence_does_not_return_early_during_delay_window(self):
+        # Regression: pending_count()/is_drained() must include copies the
+        # fault plane is still holding.  A fixed 150 ms link delay keeps
+        # deliveries in flight well past the enqueue; quiescence must wait
+        # them out rather than observe empty worker queues and return.
+        plane = FaultPlane(seed=5)
+        plane.set_link(delay=1.0, delay_range=(0.15, 0.15))
+        with make_cluster(plane) as cluster:
+            client = cluster.client()
+            pending = client.invoke_async("update", key=0, value=b"late")
+            assert cluster.multicast.pending_count() > 0
+            assert not cluster.multicast.is_drained()
+            cluster.wait_for_quiescence(timeout=20.0)
+            assert cluster.multicast.pending_count() == 0
+            assert pending.result(timeout=1.0).error is None
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            assert snapshots[0] == snapshots[1]
+
+
+class TestLossyLinksThreaded:
+    def test_drop_delay_duplicate_reorder_history_linearizable(self):
+        plane = FaultPlane(seed=11, retransmit_backoff=0.002)
+        plane.set_link(
+            drop=0.3, delay=0.4, delay_range=(0.001, 0.005),
+            duplicate=0.4, reorder=0.3, reorder_window=0.004,
+        )
+        recorder = HistoryRecorder()
+        with make_cluster(plane, num_replicas=3, mpl=3) as cluster:
+            client = cluster.client()
+
+            def call(name, args):
+                def invoke():
+                    response = client.invoke(name, timeout=15.0, **args)
+                    if name == "read":
+                        return response.value if response.error is None else None
+                    return None if response.error is None else response.error
+                return invoke
+
+            for index in range(30):
+                name = ("insert", "read", "update", "read", "delete", "read")[index % 6]
+                args = {"key": 100}
+                if name in ("insert", "update"):
+                    args["value"] = f"v{index}".encode()
+                recorder.timed_call(client.client_id, name, args, call(name, args))
+            cluster.wait_for_quiescence(timeout=20.0)
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            assert all(s == snapshots[0] for s in snapshots)
+            assert cluster.marker_boundary_violations == 0
+        assert plane.stats["retransmits"] > 0 or plane.stats["duplicates"] > 0
+        assert check_kv_history(recorder.operations, initial_state={})
+
+
+# ----------------------------------------------------------------------
+# Acceptance episodes (ISSUE 7): crash + partition + restart-from-disk +
+# compaction interleaved under load, oracle-checked, seed-reproducible.
+# ----------------------------------------------------------------------
+
+class TestAcceptanceEpisodes:
+    THREADED_SEED = 14  # plan covers all seven op kinds at steps=10
+
+    def test_threaded_episode_all_fault_kinds(self, tmp_path):
+        nemesis = Nemesis(self.THREADED_SEED, 3, steps=10, mean_gap=0.08,
+                          kinds=THREADED_KINDS)
+        kinds = {op.kind for op in nemesis.plan}
+        assert {"crash", "partition", "restart_disk", "compact"} <= kinds
+        report = run_threaded_nemesis_episode(
+            seed=self.THREADED_SEED, store_dir=str(tmp_path), steps=10,
+        )
+        assert_episode_ok(report)
+        assert report["linearizable"] and report["converged"]
+        assert report["marker_boundary_violations"] == 0
+        # Reproducibility: the same seed regenerates the identical plan.
+        replay = Nemesis(self.THREADED_SEED, 3, steps=10, mean_gap=0.08,
+                         kinds=THREADED_KINDS)
+        assert replay.plan == nemesis.plan
+        assert report["plan"] == [op.describe() for op in nemesis.plan]
+
+    def test_sim_episode_with_byte_identical_replay(self):
+        seed = 2  # plan covers partition, heal, crash, recover, checkpoint
+        report = run_sim_nemesis_episode(seed=seed)
+        assert_episode_ok(report)
+        applied_kinds = {entry["op"].split()[2] for entry in report["applied"]}
+        assert {"partition", "crash", "recover", "checkpoint"} <= applied_kinds
+        # Virtual time makes the whole run deterministic: the replay's
+        # fault schedule digest is identical, byte for byte.
+        replay = run_sim_nemesis_episode(seed=seed)
+        assert replay["schedule_digest"] == report["schedule_digest"]
+        assert replay["plan"] == report["plan"]
+        assert replay["probe_operations"] == report["probe_operations"]
+
+
+# ----------------------------------------------------------------------
+# Seeded randomized sweeps (fixed seeds so CI is deterministic)
+# ----------------------------------------------------------------------
+
+class TestSeededSweeps:
+    @pytest.mark.parametrize("seed", [7, 23, 101])
+    def test_threaded_sweep(self, tmp_path, seed):
+        report = run_threaded_nemesis_episode(seed=seed, store_dir=str(tmp_path))
+        assert_episode_ok(report)
+
+    @pytest.mark.parametrize("seed", [1, 3, 4, 5, 9, 13])
+    def test_sim_sweep(self, seed):
+        assert_episode_ok(run_sim_nemesis_episode(seed=seed))
+
+
+# ----------------------------------------------------------------------
+# Failure reporting: the seed must be printed and the artifact written
+# ----------------------------------------------------------------------
+
+class TestFailureReporting:
+    def test_failed_episode_prints_seed_and_writes_artifact(self, tmp_path):
+        report = {
+            "runtime": "sim",
+            "seed": 4242,
+            "ok": False,
+            "failures": ["replica states diverged"],
+            "plan": ["[0] t+0.010s crash replica1"],
+        }
+        with pytest.raises(AssertionError) as excinfo:
+            assert_episode_ok(report, artifact_dir=str(tmp_path))
+        message = str(excinfo.value)
+        assert "seed=4242" in message
+        assert "run_sim_nemesis_episode(seed=4242)" in message
+        artifact = tmp_path / "nemesis-sim-seed4242.json"
+        assert artifact.exists()
+        assert "replica states diverged" in artifact.read_text()
+
+    def test_passing_episode_returns_report(self):
+        report = {"runtime": "threaded", "seed": 1, "ok": True, "failures": []}
+        assert assert_episode_ok(report) is report
+
+
+# ----------------------------------------------------------------------
+# Simulated runtime: quiescence accounts for in-flight fault deliveries
+# ----------------------------------------------------------------------
+
+class TestSimQuiescence:
+    def test_quiesce_waits_for_delayed_links(self):
+        from repro.harness.runner import build_kv_system
+        from repro.workload import mixed_workload
+
+        plane = FaultPlane(seed=9, retransmit_backoff=0.001)
+        # Heavy fixed delays: at quiesce time many deliveries are parked
+        # inside SimFaultyLink queues rather than worker mailboxes.
+        plane.set_link(delay=1.0, delay_range=(0.002, 0.004))
+        system = build_kv_system(
+            "P-SMR", 2, mix=mixed_workload(0.1), num_clients=4,
+            key_space=64, initial_keys=32, execute_state=True, seed=9,
+            fault_plane=plane, num_replicas=2,
+        )
+        system.run(warmup=0.005, duration=0.02)
+        outstanding = system.quiesce(limit=5.0)
+        assert outstanding == 0
+        assert system.fault_in_flight() == 0
+        states = [system.replica_state(r).snapshot() for r in (0, 1)]
+        counts = [system.replica_state(r).commands_executed for r in (0, 1)]
+        assert states[0] == states[1]
+        assert counts[0] == counts[1]

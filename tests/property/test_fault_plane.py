@@ -1,0 +1,188 @@
+"""Property suite: the fault plane is reliable, ordered and replayable.
+
+Three properties pin the fault model's contract (the paper's multicast is
+reliable FIFO-atomic, so faults must surface as latency only):
+
+i.   **exactly-once** — over any fault configuration, once the plane is
+     healed every message sent to a non-crashed destination is delivered
+     exactly once (the plane always plans >= 1 copy; the receiver's
+     :class:`ReliableLink` discards the redundant ones);
+ii.  **in-order** — whatever per-copy delays the plane plans, delivering
+     copies in arrival-time order through the link releases payloads in
+     exactly sequence order (reordering faults never leak past the link);
+iii. **replayable** — the full fault schedule (every topology change and
+     every random draw) is a pure function of the seed: same seed, same
+     byte-for-byte ``schedule_bytes()``.
+
+Plus the :class:`Nemesis` plan generator's safety invariants: plans are
+seed-deterministic, never crash the last live replica, keep at most one
+replica partitioned, respect the partition/heal gating and always end
+with the network healed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.faults import FaultPlane, Nemesis, NemesisOp, ReliableLink
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+fault_configs = st.fixed_dictionaries(
+    {
+        "drop": st.floats(min_value=0.0, max_value=0.9),
+        "delay": st.floats(min_value=0.0, max_value=1.0),
+        "delay_range": st.tuples(
+            st.floats(min_value=0.0, max_value=0.01),
+            st.floats(min_value=0.0, max_value=0.05),
+        ).map(lambda pair: (min(pair), max(pair))),
+        "duplicate": st.floats(min_value=0.0, max_value=1.0),
+        "reorder": st.floats(min_value=0.0, max_value=1.0),
+        "reorder_window": st.floats(min_value=0.0, max_value=0.05),
+    }
+)
+
+
+def _deliver_through_link(plane, num_messages, send_gap=0.001):
+    """Push ``num_messages`` through plan_delivery + ReliableLink.
+
+    Returns the payloads in the order the link released them.  Copies are
+    presented to the receiver in arrival-time order (ties broken by copy
+    index, like a real wire would interleave them).
+    """
+    events = []
+    for sequence in range(num_messages):
+        sent_at = sequence * send_gap
+        for copy_index, delay in enumerate(plane.plan_delivery("order", "replica0")):
+            events.append((sent_at + delay, copy_index, sequence))
+    events.sort()
+    link = ReliableLink()
+    released = []
+    for _, _, sequence in events:
+        released.extend(link.accept(sequence, f"msg{sequence}"))
+    return released, link
+
+
+# ----------------------------------------------------------------------
+# (i) + (ii): exactly-once, in sequence order
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32), faults=fault_configs,
+       num_messages=st.integers(min_value=1, max_value=60))
+def test_healed_plane_delivers_exactly_once_in_order(seed, faults, num_messages):
+    plane = FaultPlane(seed=seed)
+    plane.set_link(**faults)
+    released, link = _deliver_through_link(plane, num_messages)
+    assert released == [f"msg{i}" for i in range(num_messages)]
+    assert link.pending() == 0
+    assert link.next_expected() == num_messages
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32), faults=fault_configs)
+def test_plan_delivery_always_plans_at_least_one_finite_copy(seed, faults):
+    plane = FaultPlane(seed=seed)
+    plane.set_link(**faults)
+    for _ in range(50):
+        delays = plane.plan_delivery("order", "replica1")
+        assert len(delays) >= 1
+        assert all(d >= 0.0 for d in delays)
+        # Drop chains are capped: latency is bounded even at drop=0.9.
+        assert delays[0] <= (
+            plane.max_retransmits * plane.retransmit_backoff
+            + faults["delay_range"][1]
+            + faults["reorder_window"]
+        )
+
+
+def test_reliable_link_discards_duplicates_and_stale_copies():
+    link = ReliableLink()
+    assert link.accept(0, "a") == ["a"]
+    assert link.accept(0, "a") == []          # duplicate of released
+    assert link.accept(2, "c") == []          # held for the gap
+    assert link.accept(2, "c") == []          # duplicate of buffered
+    assert link.pending() == 1
+    assert link.accept(1, "b") == ["b", "c"]  # gap filled, in-order release
+    assert link.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# (iii): byte-for-byte schedule replay from the seed
+# ----------------------------------------------------------------------
+
+def _drive(plane, faults):
+    plane.set_link(**faults)
+    plane.set_link(src="order", dst="replica1", drop=0.5)
+    for message in range(40):
+        plane.plan_delivery("order", f"replica{message % 3}")
+        if message == 10:
+            plane.isolate("replica2")
+        if message == 20:
+            plane.partition({"replica0"}, {"replica1", "replica2"})
+        if message == 30:
+            plane.heal()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32), faults=fault_configs)
+def test_schedule_replays_byte_for_byte_from_seed(seed, faults):
+    first, second = FaultPlane(seed=seed), FaultPlane(seed=seed)
+    _drive(first, faults)
+    _drive(second, faults)
+    assert first.schedule_bytes() == second.schedule_bytes()
+    assert first.stats == second.stats
+    # A different seed must change the schedule whenever randomness was
+    # actually consumed (any_active configs draw at least one random).
+    if any(first.stats[k] for k in ("retransmits", "delayed", "reordered", "duplicates")):
+        other = FaultPlane(seed=seed + 1)
+        _drive(other, faults)
+        assert first.schedule_bytes() != other.schedule_bytes()
+
+
+# ----------------------------------------------------------------------
+# Nemesis plan invariants
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    num_replicas=st.integers(min_value=2, max_value=5),
+    steps=st.integers(min_value=1, max_value=40),
+)
+def test_nemesis_plan_is_safe_and_deterministic(seed, num_replicas, steps):
+    nemesis = Nemesis(seed, num_replicas, steps=steps, mean_gap=0.01)
+    replay = Nemesis(seed, num_replicas, steps=steps, mean_gap=0.01)
+    assert nemesis.plan == replay.plan
+
+    crashed, partitioned = set(), set()
+    last_at = 0.0
+    for op in nemesis.plan:
+        assert isinstance(op, NemesisOp)
+        assert op.at > last_at or op.at == last_at  # non-decreasing offsets
+        last_at = op.at
+        if op.kind == "partition":
+            assert not partitioned, "only one partition at a time"
+            assert op.target not in crashed
+            partitioned.add(op.target)
+        elif op.kind == "heal":
+            partitioned.clear()
+        elif op.kind == "crash":
+            assert op.target not in crashed
+            crashed.add(op.target)
+            assert len(crashed) <= num_replicas - 1, "last live replica crashed"
+        elif op.kind in ("recover", "restart_disk"):
+            assert not partitioned, "recovery requires a healed network"
+            assert op.target in crashed
+            crashed.discard(op.target)
+        elif op.kind == "checkpoint":
+            assert not partitioned, "markers require every live replica reachable"
+    assert not partitioned, "plan must end healed"
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_nemesis_restricted_kinds_are_honoured(seed):
+    kinds = ("partition", "heal", "crash", "recover")
+    nemesis = Nemesis(seed, 3, steps=20, mean_gap=0.01, kinds=kinds)
+    assert set(op.kind for op in nemesis.plan) <= set(kinds)

@@ -42,3 +42,23 @@ def test_fig4_via_cli_with_tiny_window():
 def test_every_registered_experiment_has_a_driver():
     for name, (driver, _takes_timing) in cli.EXPERIMENTS.items():
         assert callable(driver), name
+
+
+def test_nemesis_is_registered_with_timing_kwargs():
+    driver, takes_timing = cli.EXPERIMENTS["nemesis"]
+    assert callable(driver)
+    assert takes_timing
+
+
+def test_nemesis_via_cli_with_tiny_window():
+    stream = io.StringIO()
+    code = cli.main(
+        ["nemesis", "--warmup", "0.004", "--duration", "0.012", "--seed", "5"],
+        stream=stream,
+    )
+    assert code == 0
+    output = stream.getvalue()
+    assert "degradation by fault class" in output
+    assert "seeded randomized episodes" in output
+    # Every episode line carries the seed for one-command reproduction.
+    assert "--seed 5" in output

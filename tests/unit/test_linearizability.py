@@ -3,7 +3,12 @@
 import pytest
 
 from repro.common.errors import LinearizabilityViolation
-from repro.runtime.linearizability import HistoryRecorder, Operation, check_linearizable
+from repro.runtime.linearizability import (
+    HistoryRecorder,
+    Operation,
+    check_kv_history,
+    check_linearizable,
+)
 
 
 def op(client, name, key, result, invoked, returned, value=None):
@@ -103,3 +108,154 @@ def test_history_recorder_collects_operations():
     recorded = recorder.timed_call(1, "read", {"key": 1}, lambda: "v")
     assert len(recorder.operations) == 2
     assert recorded.returned_at >= recorded.invoked_at
+
+
+# ----------------------------------------------------------------------
+# Hardening: overlapping windows, duplicate uids, pending invocations,
+# and the bool/int equality pitfalls (issue 7, satellite 1).
+# ----------------------------------------------------------------------
+
+def test_three_way_overlap_on_one_key():
+    # Three clients all overlap on key 1: an insert, a delete and a read.
+    # One valid order is insert -> read(v) -> delete; the checker must
+    # find it among the interleavings.
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 5.0, value="v"),
+        op(1, "delete", 1, "ok", 0.5, 5.5),
+        op(2, "read", 1, "v", 1.0, 4.0),
+    ]
+    assert check_linearizable(history)
+
+
+def test_overlapping_updates_both_orders_admitted():
+    history_sees_a = [
+        op(0, "update", 1, "ok", 0.0, 3.0, value="a"),
+        op(1, "update", 1, "ok", 0.5, 3.5, value="b"),
+        op(2, "read", 1, "a", 4.0, 5.0),
+    ]
+    history_sees_b = [
+        op(0, "update", 1, "ok", 0.0, 3.0, value="a"),
+        op(1, "update", 1, "ok", 0.5, 3.5, value="b"),
+        op(2, "read", 1, "b", 4.0, 5.0),
+    ]
+    assert check_linearizable(history_sees_a, initial_state={1: "z"})
+    assert check_linearizable(history_sees_b, initial_state={1: "z"})
+
+
+def test_duplicate_client_invocation_ids_after_replay():
+    # After a recovery replay a client may re-record the same logical
+    # invocation; the checker treats operations positionally, so two
+    # identical records from one client must not confuse it as long as
+    # both can be linearized (two inserts: first ok, replay sees exists).
+    history = [
+        op(3, "insert", 1, "ok", 0.0, 1.0, value="v"),
+        op(3, "insert", 1, "err=2", 2.0, 3.0, value="v"),
+        op(3, "read", 1, "v", 4.0, 5.0),
+    ]
+    assert check_linearizable(history)
+
+
+def test_pending_invocation_may_have_applied():
+    # The update's response was lost, but a later read observes its
+    # effect: the checker must be able to include the pending op.
+    history = [
+        op(0, "update", 1, None, 0.0, None, value="new"),
+        op(1, "read", 1, "new", 5.0, 6.0),
+    ]
+    assert check_linearizable(history, initial_state={1: "old"})
+
+
+def test_pending_invocation_may_have_been_lost():
+    # ...or the pending op never took effect, and the read sees old state.
+    history = [
+        op(0, "update", 1, None, 0.0, None, value="new"),
+        op(1, "read", 1, "old", 5.0, 6.0),
+    ]
+    assert check_linearizable(history, initial_state={1: "old"})
+
+
+def test_pending_invocation_cannot_explain_the_impossible():
+    # A pending *update* on an existing key can only write "new"; a read
+    # returning a third value is still a violation.
+    history = [
+        op(0, "update", 1, None, 0.0, None, value="new"),
+        op(1, "read", 1, "phantom", 5.0, 6.0),
+    ]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history, initial_state={1: "old"})
+
+
+def test_pending_op_does_not_constrain_real_time_order():
+    # The pending insert "started" first but must not force itself before
+    # the responded read (its return time is unbounded).
+    history = [
+        op(0, "insert", 1, None, 0.0, None, value="v"),
+        op(1, "read", 1, None, 10.0, 11.0),
+    ]
+    assert check_linearizable(history)
+
+
+def test_error_code_one_is_not_a_successful_update():
+    # Regression: result 1 (ERR_NOT_FOUND) used to pass the
+    # `result in ("ok", True, None, 0)` success test because True == 1.
+    history = [op(0, "update", 1, 1, 0.0, 1.0, value="v")]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history, initial_state={1: "x"})
+
+
+def test_success_code_zero_is_not_a_failed_insert():
+    # Regression: result 0 (OK) used to pass the failure test on an
+    # existing key because False == 0.
+    history = [op(0, "insert", 1, 0, 0.0, 1.0, value="v")]
+    with pytest.raises(LinearizabilityViolation):
+        check_linearizable(history, initial_state={1: "x"})
+
+
+def test_true_zero_and_none_still_accepted_for_success():
+    for result in (0, True, None, "ok"):
+        assert check_linearizable(
+            [op(0, "update", 1, result, 0.0, 1.0, value="v")],
+            initial_state={1: "x"},
+        )
+
+
+def test_record_pending_and_timed_call_on_exception():
+    recorder = HistoryRecorder()
+    recorder.record_pending(0, "update", {"key": 1}, 0.5)
+    assert recorder.operations[-1].pending
+
+    def boom():
+        raise TimeoutError("client timed out")
+
+    with pytest.raises(TimeoutError):
+        recorder.timed_call(1, "delete", {"key": 2}, boom)
+    assert recorder.operations[-1].pending
+    assert recorder.operations[-1].name == "delete"
+
+
+def test_check_kv_history_checks_per_key():
+    history = [
+        op(0, "insert", 1, "ok", 0.0, 1.0, value="a"),
+        op(0, "insert", 2, "ok", 0.0, 1.0, value="b"),
+        op(1, "read", 1, "a", 2.0, 3.0),
+        op(1, "read", 2, "b", 2.0, 3.0),
+    ]
+    assert check_kv_history(history)
+
+
+def test_check_kv_history_names_the_violating_key():
+    history = [
+        op(0, "insert", 7, "ok", 0.0, 1.0, value="a"),
+        op(1, "read", 7, "stale", 2.0, 3.0),
+        op(0, "read", 8, None, 0.0, 1.0),
+    ]
+    with pytest.raises(LinearizabilityViolation, match="key 7"):
+        check_kv_history(history)
+
+
+def test_check_kv_history_scopes_initial_state_per_key():
+    history = [
+        op(0, "read", 1, "seed", 0.0, 1.0),
+        op(0, "read", 2, None, 0.0, 1.0),
+    ]
+    assert check_kv_history(history, initial_state={1: "seed"})

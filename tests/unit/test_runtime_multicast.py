@@ -62,6 +62,65 @@ class TestDrainApi:
         assert multicast.is_drained()
 
 
+class TestFaultPipeDrainAccounting:
+    """Regression (issue 7, satellite 2): with a fault plane attached,
+    copies the pipe is still holding — delayed, parked behind a
+    partition, or buffered for in-order reassembly — must count as
+    pending, or quiescence checks return early mid-delay-window."""
+
+    def test_delayed_copies_count_as_pending(self):
+        import time
+
+        from repro.common.faults import FaultPlane
+
+        plane = FaultPlane(seed=1)
+        plane.set_link(delay=1.0, delay_range=(0.2, 0.2))
+        multicast = LocalAtomicMulticast(1, fault_plane=plane)
+        queues = multicast.register_replica(0, [1])
+        try:
+            multicast.multicast([1], "delayed")
+            # The worker queue is empty — the copy is inside the pipe —
+            # but the multicast must not report drained.
+            assert queues[1].empty()
+            assert multicast.pending_count() == 1
+            assert multicast.pending_count(replica_id=0) == 1
+            assert not multicast.is_drained()
+            deadline = time.monotonic() + 5.0
+            while queues[1].empty() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert queues[1].qsize() == 1
+            drain(queues[1])
+            assert multicast.pending_count() == 0
+            assert multicast.is_drained()
+        finally:
+            multicast.shutdown()
+
+    def test_partition_parks_copies_until_heal(self):
+        import time
+
+        from repro.common.faults import FaultPlane
+
+        plane = FaultPlane(seed=2, retransmit_backoff=0.005)
+        multicast = LocalAtomicMulticast(1, fault_plane=plane)
+        queues = multicast.register_replica(0, [1])
+        try:
+            plane.isolate("replica0")
+            multicast.multicast([1], "parked")
+            time.sleep(0.05)
+            assert multicast.pending_count() == 1, "partition must not drop"
+            assert queues[1].empty()
+            plane.heal()
+            deadline = time.monotonic() + 5.0
+            while queues[1].empty() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert queues[1].qsize() == 1
+            drain(queues[1])
+            assert multicast.pending_count() == 0
+            assert plane.stats["blocked_retries"] > 0
+        finally:
+            multicast.shutdown()
+
+
 class TestRegistration:
     def test_register_replica_rejects_duplicates(self):
         multicast, _queues = make_multicast(replicas=(0,))
