@@ -6,10 +6,14 @@ Examples::
     python -m repro.cli table1
     python -m repro.cli fig3 --duration 0.05
     python -m repro.cli fig6 --duration 0.03 --seed 7
+    python -m repro.cli nemesis --runtime proc --seed 7
     python -m repro.cli all --duration 0.03
 
 Each sub-command runs the corresponding experiment driver from
 :mod:`repro.harness.experiments` and prints the paper-style table.
+Experiments with a live-cluster phase accept ``--runtime`` to pick the
+cluster flavour: ``threaded`` (in-process threads, default), ``proc``
+(one OS process per replica over TCP) or ``sim`` (simulation only).
 """
 
 import argparse
@@ -33,23 +37,27 @@ from repro.harness.experiments import (
     run_table1,
 )
 
-#: Experiment name -> (driver, accepts timing kwargs).
+#: Live-cluster runtimes accepted by ``--runtime`` (experiments without a
+#: live phase ignore the flag).
+RUNTIMES = ("threaded", "proc", "sim")
+
+#: Experiment name -> (driver, accepts timing kwargs, accepts runtime kwarg).
 EXPERIMENTS = {
-    "table1": (run_table1, False),
-    "fig3": (run_fig3_independent, True),
-    "fig4": (run_fig4_dependent, True),
-    "fig5": (run_fig5_scalability, True),
-    "fig6": (run_fig6_mixed, True),
-    "fig7": (run_fig7_skew, False),
-    "fig8": (run_fig8_netfs, True),
-    "recovery": (run_recovery, True),
-    "checkpoint-scaling": (run_checkpoint_scaling, True),
-    "delta-checkpoint": (run_delta_checkpoint, True),
-    "durable-recovery": (run_durable_recovery, True),
-    "nemesis": (run_nemesis, True),
-    "ablation-merge": (run_ablation_merge_policy, True),
-    "ablation-cg": (run_ablation_cg_granularity, True),
-    "ablation-batch": (run_ablation_batch_size, True),
+    "table1": (run_table1, False, False),
+    "fig3": (run_fig3_independent, True, False),
+    "fig4": (run_fig4_dependent, True, False),
+    "fig5": (run_fig5_scalability, True, False),
+    "fig6": (run_fig6_mixed, True, False),
+    "fig7": (run_fig7_skew, False, False),
+    "fig8": (run_fig8_netfs, True, False),
+    "recovery": (run_recovery, True, False),
+    "checkpoint-scaling": (run_checkpoint_scaling, True, False),
+    "delta-checkpoint": (run_delta_checkpoint, True, False),
+    "durable-recovery": (run_durable_recovery, True, False),
+    "nemesis": (run_nemesis, True, True),
+    "ablation-merge": (run_ablation_merge_policy, True, False),
+    "ablation-cg": (run_ablation_cg_granularity, True, False),
+    "ablation-batch": (run_ablation_batch_size, True, False),
 }
 
 
@@ -66,18 +74,25 @@ def build_parser():
     parser.add_argument("--duration", type=float, default=0.04,
                         help="simulated measurement window, in seconds")
     parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument("--runtime", choices=RUNTIMES, default="threaded",
+                        help="live-cluster runtime for experiments with a "
+                             "live phase (threaded: in-process threads; "
+                             "proc: one OS process per replica over TCP; "
+                             "sim: simulation only)")
     return parser
 
 
-def run_experiment(name, warmup, duration, seed, stream=sys.stdout):
+def run_experiment(name, warmup, duration, seed, stream=sys.stdout,
+                   runtime="threaded"):
     """Run one named experiment and print its table; return the result dict."""
-    driver, takes_timing = EXPERIMENTS[name]
+    driver, takes_timing, takes_runtime = EXPERIMENTS[name]
+    kwargs = {"runtime": runtime} if takes_runtime else {}
     if takes_timing:
-        result = driver(warmup=warmup, duration=duration, seed=seed)
+        result = driver(warmup=warmup, duration=duration, seed=seed, **kwargs)
     elif name == "table1":
         result = driver()
     else:
-        result = driver(seed=seed)
+        result = driver(seed=seed, **kwargs)
     print(result["text"], file=stream)
     print("", file=stream)
     return result
@@ -88,10 +103,12 @@ def main(argv=None, stream=sys.stdout):
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name, file=stream)
+        print("runtimes: " + " ".join(RUNTIMES), file=stream)
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        run_experiment(name, args.warmup, args.duration, args.seed, stream=stream)
+        run_experiment(name, args.warmup, args.duration, args.seed,
+                       stream=stream, runtime=args.runtime)
     return 0
 
 

@@ -42,25 +42,22 @@ for the chain suffix.
 
 import json
 import os
-import struct
 import threading
-import zlib
 
 from repro.common import codec as _codec
+from repro.common import framing
 from repro.common.errors import CheckpointError
 
-#: Segment header: magic, payload length, CRC-32 of the payload bytes.
-_SEGMENT_HEADER = struct.Struct(">8sQI")
-_SEGMENT_MAGIC = b"PSMRSEG1"
+#: Segment framing (header layout + CRC) is shared with the TCP wire
+#: protocol via :mod:`repro.common.framing`; only the magic differs.
+_SEGMENT_MAGIC = framing.SEGMENT_MAGIC
 
 _MANIFEST_NAME = "MANIFEST"
 _MANIFEST_TMP = "MANIFEST.tmp"
 _SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".ckpt"
 
-
-def _crc(data):
-    return zlib.crc32(data) & 0xFFFFFFFF
+_crc = framing.crc32
 
 
 def _fsync_directory(path):
@@ -169,18 +166,18 @@ class CheckpointStore:
         path = os.path.join(self.directory, record["segment"])
         try:
             with open(path, "rb") as handle:
-                header = handle.read(_SEGMENT_HEADER.size)
-                if len(header) < _SEGMENT_HEADER.size:
+                header = handle.read(framing.HEADER_SIZE)
+                parsed = framing.parse_header(header, _SEGMENT_MAGIC)
+                if parsed is None:
                     return None
-                magic, length, crc = _SEGMENT_HEADER.unpack(header)
-                if magic != _SEGMENT_MAGIC:
-                    return None
+                length, crc = parsed
                 if length != record["length"] or crc != record["crc"]:
                     return None
+                # Read one extra byte so trailing garbage invalidates too.
                 payload = handle.read(length + 1)
         except OSError:
             return None
-        if len(payload) != length or _crc(payload) != crc:
+        if not framing.payload_valid(payload, length, crc):
             return None
         try:
             return {
@@ -240,8 +237,7 @@ class CheckpointStore:
         payload = _codec.dumps(entry["payload"], self.codec)
         name = f"{_SEGMENT_PREFIX}{self._next_file_id:08d}{_SEGMENT_SUFFIX}"
         self._next_file_id += 1
-        header = _SEGMENT_HEADER.pack(_SEGMENT_MAGIC, len(payload), _crc(payload))
-        self._write_file(name, header + payload)
+        self._write_file(name, framing.encode_frame(_SEGMENT_MAGIC, payload))
         return {
             "kind": entry["kind"],
             "sequence": entry["sequence"],

@@ -1,0 +1,63 @@
+"""Shared length-prefix + CRC-32 framing.
+
+One frame = a fixed 20-byte header (8-byte magic, payload length, CRC-32
+of the payload) followed by the payload bytes.  Two subsystems speak this
+format:
+
+* :mod:`repro.common.checkpoint_store` segment files (magic
+  ``PSMRSEG1``) — durable checkpoint chain entries on disk;
+* the :mod:`repro.runtime.transport.tcp` wire protocol (magic
+  ``PSMRWIR1``) — control and delivery frames between the coordinator
+  and replica processes.
+
+Both need the same guarantee: a truncated, torn or corrupted frame is
+*detected*, never silently accepted.  The helpers here return ``None``
+for anything invalid so callers choose their own failure mode (the store
+degrades to the longest valid chain prefix; the wire layer drops the
+connection).
+"""
+
+import struct
+import zlib
+
+#: Frame header: 8-byte magic, payload length, CRC-32 of the payload.
+HEADER = struct.Struct(">8sQI")
+HEADER_SIZE = HEADER.size
+
+#: Durable checkpoint segment files.
+SEGMENT_MAGIC = b"PSMRSEG1"
+#: TCP transport frames.
+WIRE_MAGIC = b"PSMRWIR1"
+
+#: Upper bound a stream reader accepts before declaring the header
+#: garbage (a corrupted length would otherwise ask for petabytes).
+MAX_FRAME_BYTES = 1 << 31
+
+
+def crc32(data):
+    """CRC-32 as an unsigned 32-bit value (what the header stores)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def encode_frame(magic, payload):
+    """One complete frame: header + payload."""
+    return HEADER.pack(magic, len(payload), crc32(payload)) + payload
+
+
+def parse_header(header, magic):
+    """Parse a frame header; ``(length, crc)`` or ``None`` when invalid.
+
+    Invalid means short, wrong magic, or a length beyond
+    :data:`MAX_FRAME_BYTES`.
+    """
+    if len(header) < HEADER_SIZE:
+        return None
+    frame_magic, length, crc = HEADER.unpack_from(header)
+    if frame_magic != magic or length > MAX_FRAME_BYTES:
+        return None
+    return length, crc
+
+
+def payload_valid(payload, length, crc):
+    """Whether ``payload`` matches the header's length and checksum."""
+    return len(payload) == length and crc32(payload) == crc

@@ -10,7 +10,8 @@ Two parts:
   marker to rejoin).  Faults surface as latency, never as ordering
   violations — the paper's multicast is reliable — so degradation is the
   interesting number;
-* two **seeded nemesis episodes** (one simulated, one threaded) interleave
+* two **seeded nemesis episodes** (one simulated, one live — threaded by
+  default, or process-per-replica with ``runtime="proc"``) interleave
   randomized partitions, crashes, recoveries, disk restarts and
   compactions against live load, then heal, drain and run the full oracle:
   linearizable probe history, converged replicas, zero marker boundary
@@ -23,12 +24,19 @@ import tempfile
 
 from repro.common.faults import FaultPlane
 from repro.harness.nemesis import (
+    run_proc_nemesis_episode,
     run_sim_nemesis_episode,
     run_threaded_nemesis_episode,
 )
 from repro.harness.runner import DEFAULT_WARMUP, build_kv_system
 from repro.harness.tables import format_table
 from repro.workload import mixed_workload
+
+#: Live-cluster runtimes the episode phase can run against.  ``sim``
+#: skips the live episode (sweep + simulated episode only); ``threaded``
+#: uses in-process replica threads; ``proc`` spawns one OS process per
+#: replica and drives faults through the TCP socket layer.
+RUNTIMES = ("threaded", "proc", "sim")
 
 #: What the experiment is expected to show (used in the output and tests).
 EXPECTATIONS = {
@@ -105,8 +113,19 @@ def _sweep_arm(name, faults, warmup, duration, seed, threads=3):
     }
 
 
-def run_nemesis(warmup=DEFAULT_WARMUP, duration=0.04, seed=20260808):
-    """Fault-class degradation sweep + one seeded oracle episode per runtime."""
+def run_nemesis(warmup=DEFAULT_WARMUP, duration=0.04, seed=20260808,
+                runtime="threaded"):
+    """Fault-class degradation sweep + seeded oracle episodes.
+
+    ``runtime`` selects the live cluster the second episode runs against:
+    ``threaded`` (default), ``proc`` (one OS process per replica, faults
+    injected at the socket layer, crashes are real SIGKILLs) or ``sim``
+    (no live episode; sweep + simulated episode only).
+    """
+    if runtime not in RUNTIMES:
+        raise ValueError(
+            f"unknown runtime {runtime!r}; expected one of {RUNTIMES}"
+        )
     rows = []
     baseline = None
     for name, faults in FAULT_CLASSES:
@@ -131,15 +150,22 @@ def run_nemesis(warmup=DEFAULT_WARMUP, duration=0.04, seed=20260808):
     sim_episode = run_sim_nemesis_episode(
         seed=seed, duration=max(duration, 0.05), record_schedule=False
     )
-    scratch = tempfile.mkdtemp(prefix="psmr-nemesis-")
-    try:
-        threaded_episode = run_threaded_nemesis_episode(
-            seed=seed, store_dir=scratch, steps=6, mean_gap=0.05
-        )
-    finally:
-        shutil.rmtree(scratch, ignore_errors=True)
+    live_episode = None
+    if runtime != "sim":
+        scratch = tempfile.mkdtemp(prefix="psmr-nemesis-")
+        try:
+            if runtime == "proc":
+                live_episode = run_proc_nemesis_episode(
+                    seed=seed, store_dir=scratch, steps=5, mean_gap=0.3
+                )
+            else:
+                live_episode = run_threaded_nemesis_episode(
+                    seed=seed, store_dir=scratch, steps=6, mean_gap=0.05
+                )
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
     episodes = []
-    for episode in (sim_episode, threaded_episode):
+    for episode in filter(None, (sim_episode, live_episode)):
         episodes.append(
             {
                 "runtime": episode["runtime"],
@@ -153,12 +179,16 @@ def run_nemesis(warmup=DEFAULT_WARMUP, duration=0.04, seed=20260808):
         )
     summary = {
         "seed": seed,
+        "runtime": runtime,
         "worst_degradation_pct": max(row["degradation_pct"] for row in rows),
         "all_arms_converged": all(row["converged"] for row in rows),
         "sim_episode_ok": sim_episode["ok"],
-        "threaded_episode_ok": threaded_episode["ok"],
-        "reproduce": f"python -m repro.cli nemesis --seed {seed}",
+        "reproduce": (
+            f"python -m repro.cli nemesis --seed {seed} --runtime {runtime}"
+        ),
     }
+    if live_episode is not None:
+        summary[f"{runtime}_episode_ok"] = live_episode["ok"]
     text = "\n".join(
         [
             format_table(
@@ -190,21 +220,25 @@ def run_nemesis(warmup=DEFAULT_WARMUP, duration=0.04, seed=20260808):
             ),
         ]
     )
-    failures = sim_episode["failures"] + threaded_episode["failures"]
+    failures = list(sim_episode["failures"])
+    if live_episode is not None:
+        failures += live_episode["failures"]
     if failures:
         text += (
             f"\nEPISODE FAILURES (reproduce with seed {seed}): "
             + "; ".join(failures)
         )
-    return {
+    result = {
         "figure": "nemesis",
         "rows": rows,
         "episodes": episodes,
         "sim_episode": {k: v for k, v in sim_episode.items() if k != "plan"},
-        "threaded_episode": {
-            k: v for k, v in threaded_episode.items() if k not in ("plan", "history")
-        },
         "summary": summary,
         "expectations": EXPECTATIONS,
         "text": text,
     }
+    if live_episode is not None:
+        result[f"{runtime}_episode"] = {
+            k: v for k, v in live_episode.items() if k not in ("plan", "history")
+        }
+    return result

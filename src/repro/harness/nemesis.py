@@ -35,16 +35,23 @@ from repro.common.errors import LinearizabilityViolation, RecoveryError
 from repro.common.faults import FaultPlane, Nemesis
 from repro.common.rng import derive_seed
 from repro.harness.runner import build_kv_system
-from repro.runtime import HistoryRecorder, ThreadedPSMRCluster, check_kv_history
+from repro.runtime import (
+    HistoryRecorder,
+    ProcessPSMRCluster,
+    ThreadedPSMRCluster,
+    check_kv_history,
+)
 from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
 from repro.workload import mixed_workload
 
-#: Op kinds for each runtime.  ``restart_disk`` and ``compact`` are
-#: threaded-only: the sim models checkpoints and recovery transfers but
-#: has no durable-store restart path.
+#: Op kinds for each runtime.  ``restart_disk`` and ``compact`` need a
+#: live cluster with a durable store (threaded or process runtime); the
+#: sim models checkpoints and recovery transfers but has no durable-store
+#: restart path.
 THREADED_KINDS = (
     "partition", "heal", "crash", "recover", "restart_disk", "compact", "checkpoint",
 )
+PROC_KINDS = THREADED_KINDS
 SIM_KINDS = ("partition", "heal", "crash", "recover", "checkpoint")
 
 #: Initial value of pre-seeded keys (KeyValueStoreServer default).
@@ -73,7 +80,7 @@ def _digest(plane):
 
 
 # ----------------------------------------------------------------------
-# Threaded episode
+# Live-cluster episodes (threaded and process runtimes)
 # ----------------------------------------------------------------------
 
 def run_threaded_nemesis_episode(
@@ -118,9 +125,91 @@ def run_threaded_nemesis_episode(
         store_dir=store_dir,
         fault_plane=plane,
     )
+    return _run_live_cluster_episode(
+        "threaded", cluster, plane, profile, nemesis, seed,
+        use_disk_restart=store_dir is not None,
+        num_replicas=num_replicas,
+        steps=steps, mean_gap=mean_gap,
+        background_threads=background_threads,
+        probe_clients=probe_clients, probe_ops=probe_ops,
+        probe_keys=probe_keys, load_keys=load_keys,
+        invoke_timeout=invoke_timeout, quiesce_timeout=quiesce_timeout,
+    )
+
+
+def run_proc_nemesis_episode(
+    seed,
+    store_dir=None,
+    num_replicas=3,
+    mpl=2,
+    steps=6,
+    mean_gap=0.3,
+    kinds=PROC_KINDS,
+    link_profile=None,
+    background_threads=2,
+    probe_clients=2,
+    probe_ops=10,
+    probe_keys=(900, 901),
+    load_keys=48,
+    invoke_timeout=30.0,
+    quiesce_timeout=60.0,
+):
+    """Run one seeded nemesis episode on the process-per-replica runtime.
+
+    Same plan shape and oracle as the threaded episode, but crashes are
+    real ``SIGKILL``s, ``restart_disk`` re-execs a replica process from
+    its durable store, and partitions/faults apply to actual TCP frames.
+    The process runtime always has a durable store (an owned temporary
+    one when ``store_dir`` is None), so ``restart_disk`` ops never
+    degrade.  ``mean_gap`` defaults higher than the threaded episode's:
+    process spawn and full-transfer recoveries take real fractions of a
+    second.
+    """
+    plane = FaultPlane(seed=derive_seed(seed, "plane"), retransmit_backoff=0.005)
+    profile = link_profile if link_profile is not None else link_profile_from_seed(seed)
+    plane.set_link(**profile)
+    nemesis = Nemesis(
+        seed, num_replicas, steps=steps, mean_gap=mean_gap, kinds=tuple(kinds)
+    )
+    policy = CheckpointPolicy(every_messages=400, full_every=3, compact_after=2)
+    cluster = ProcessPSMRCluster(
+        service="kvstore",
+        service_args={"initial_keys": load_keys},
+        mpl=mpl,
+        num_replicas=num_replicas,
+        barrier_timeout=15.0,
+        seed=seed,
+        checkpoint_policy=policy,
+        store_dir=store_dir,
+        fault_plane=plane,
+    )
+    return _run_live_cluster_episode(
+        "proc", cluster, plane, profile, nemesis, seed,
+        use_disk_restart=True,
+        num_replicas=num_replicas,
+        steps=steps, mean_gap=mean_gap,
+        background_threads=background_threads,
+        probe_clients=probe_clients, probe_ops=probe_ops,
+        probe_keys=probe_keys, load_keys=load_keys,
+        invoke_timeout=invoke_timeout, quiesce_timeout=quiesce_timeout,
+    )
+
+
+def _run_live_cluster_episode(
+    runtime, cluster, plane, profile, nemesis, seed, *,
+    use_disk_restart, num_replicas, steps, mean_gap,
+    background_threads, probe_clients, probe_ops, probe_keys,
+    load_keys, invoke_timeout, quiesce_timeout,
+):
+    """Drive one nemesis plan against a live (threaded or process) cluster.
+
+    Everything below touches the cluster only through the surface both
+    runtimes share: clients, crash/recover/restart, compaction, periodic
+    checkpoints, quiescence, snapshots and the boundary-violation counter.
+    """
     recorder = HistoryRecorder()
     report = {
-        "runtime": "threaded",
+        "runtime": runtime,
         "seed": seed,
         "link_profile": dict(profile, delay_range=list(profile["delay_range"])),
         "plan": [op.describe() for op in nemesis.plan],
@@ -220,11 +309,11 @@ def run_threaded_nemesis_episode(
                     continue
                 op_started = time.monotonic()
                 try:
-                    if store_dir is not None:
+                    if use_disk_restart:
                         cluster.restart_replica_from_disk(replica.replica_id)
                     else:
                         cluster.recover_replica(replica.replica_id)
-                except RecoveryError:
+                except (RecoveryError, TimeoutError):
                     cluster.recover_replica(replica.replica_id)
                 report["recovery_s"].append(time.monotonic() - op_started)
             cluster.wait_for_quiescence(timeout=quiesce_timeout)
@@ -500,7 +589,6 @@ def assert_episode_ok(report, artifact_dir=None):
     raise AssertionError(
         f"nemesis episode FAILED (runtime={report['runtime']}, seed={report['seed']}): "
         + "; ".join(report["failures"])
-        + f"\nreproduce: run_{'threaded' if report['runtime'] == 'threaded' else 'sim'}"
-        f"_nemesis_episode(seed={report['seed']})"
+        + f"\nreproduce: run_{report['runtime']}_nemesis_episode(seed={report['seed']})"
         + (f"\nartifact: {artifact_path}" if artifact_path else "")
     )

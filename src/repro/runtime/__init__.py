@@ -17,6 +17,7 @@ the property the paper's deterministic merge provides.
 from repro.common.checkpoint import CheckpointPolicy
 from repro.runtime.multicast import LocalAtomicMulticast
 from repro.runtime.cluster import CheckpointMarker, ThreadedPSMRCluster, ThreadedClient
+from repro.runtime.proccluster import ProcessPSMRCluster
 from repro.runtime.linearizability import (
     HistoryRecorder,
     Operation,
@@ -28,6 +29,7 @@ __all__ = [
     "CheckpointMarker",
     "CheckpointPolicy",
     "LocalAtomicMulticast",
+    "ProcessPSMRCluster",
     "ThreadedPSMRCluster",
     "ThreadedClient",
     "HistoryRecorder",

@@ -457,6 +457,85 @@ class ThreadedClient:
         return self.invoke_async(name, **args).result(timeout)
 
 
+class ResponseRouter:
+    """Client-response plumbing shared by the threaded and process clusters.
+
+    Routes each invocation's first response to its waiter: duplicate
+    replies (active replication sends one per replica), replies after a
+    client timed out, and replies re-executed during recovery replay are
+    dropped.  Requires ``self._lock`` (a ``threading.Lock``) plus the
+    ``self._waiters`` / ``self._responses`` dicts, and a
+    ``marker_boundary_violations`` counter attribute.
+    """
+
+    def _register_waiter(self, uid):
+        # ``None`` marks "registered, nobody blocked yet".  The Event is
+        # allocated lazily in ``_await_response`` only when the client gets
+        # there *before* the response — in pipelined use the response has
+        # usually landed already, and the allocate/set/wait cycle of a
+        # per-invocation Event is pure overhead on the hot path.
+        with self._lock:
+            self._waiters[uid] = None
+
+    def _discard_waiter(self, uid):
+        with self._lock:
+            self._waiters.pop(uid, None)
+            self._responses.pop(uid, None)
+
+    def _await_response(self, uid, name, timeout):
+        with self._lock:
+            if uid in self._responses:
+                self._waiters.pop(uid, None)
+                return self._responses.pop(uid)
+            event = self._waiters.get(uid)
+            if event is None:
+                if uid not in self._waiters:
+                    raise KeyError(f"invocation {uid} is not awaiting a response")
+                event = self._waiters[uid] = threading.Event()
+        if not event.wait(timeout):
+            # Drop the registration (and any response that raced the
+            # timeout) so abandoned invocations do not leak waiters.
+            self._discard_waiter(uid)
+            raise TimeoutError(f"no response for {name} within {timeout}s")
+        return self._take_response(uid)
+
+    def _respond(self, uid, response):
+        with self._lock:
+            if uid not in self._waiters or uid in self._responses:
+                # Duplicate replies, replies after a client timed out, and
+                # replies re-executed during recovery replay are dropped.
+                return
+            self._responses[uid] = response
+            waiter = self._waiters[uid]
+        if waiter is not None:
+            waiter.set()
+
+    def _respond_many(self, responses):
+        """Deliver a batch of ``(uid, response)`` pairs in one lock round-trip."""
+        to_wake = []
+        with self._lock:
+            waiters = self._waiters
+            stored = self._responses
+            for uid, response in responses:
+                if uid not in waiters or uid in stored:
+                    continue  # same duplicate/timeout policy as _respond
+                stored[uid] = response
+                waiter = waiters[uid]
+                if waiter is not None:
+                    to_wake.append(waiter)
+        for waiter in to_wake:
+            waiter.set()
+
+    def _record_boundary_violation(self):
+        with self._lock:
+            self.marker_boundary_violations += 1
+
+    def _take_response(self, uid):
+        with self._lock:
+            self._waiters.pop(uid, None)
+            return self._responses.pop(uid)
+
+
 class _CheckpointScheduler(threading.Thread):
     """Background driver of a cluster's :class:`CheckpointPolicy`.
 
@@ -499,7 +578,7 @@ class _CheckpointScheduler(threading.Thread):
             self.join(join_timeout)
 
 
-class ThreadedPSMRCluster:
+class ThreadedPSMRCluster(ResponseRouter):
     """A complete in-process P-SMR deployment over real threads.
 
     ``service_factory`` builds one service state machine per replica (e.g.
@@ -1146,72 +1225,8 @@ class ThreadedPSMRCluster:
         """Create a new client proxy bound to this cluster."""
         return ThreadedClient(self, next(self._client_ids))
 
-    def _register_waiter(self, uid):
-        # ``None`` marks "registered, nobody blocked yet".  The Event is
-        # allocated lazily in ``_await_response`` only when the client gets
-        # there *before* the response — in pipelined use the response has
-        # usually landed already, and the allocate/set/wait cycle of a
-        # per-invocation Event is pure overhead on the hot path.
-        with self._lock:
-            self._waiters[uid] = None
-
-    def _discard_waiter(self, uid):
-        with self._lock:
-            self._waiters.pop(uid, None)
-            self._responses.pop(uid, None)
-
-    def _await_response(self, uid, name, timeout):
-        with self._lock:
-            if uid in self._responses:
-                self._waiters.pop(uid, None)
-                return self._responses.pop(uid)
-            event = self._waiters.get(uid)
-            if event is None:
-                if uid not in self._waiters:
-                    raise KeyError(f"invocation {uid} is not awaiting a response")
-                event = self._waiters[uid] = threading.Event()
-        if not event.wait(timeout):
-            # Drop the registration (and any response that raced the
-            # timeout) so abandoned invocations do not leak waiters.
-            self._discard_waiter(uid)
-            raise TimeoutError(f"no response for {name} within {timeout}s")
-        return self._take_response(uid)
-
-    def _respond(self, uid, response):
-        with self._lock:
-            if uid not in self._waiters or uid in self._responses:
-                # Duplicate replies, replies after a client timed out, and
-                # replies re-executed during recovery replay are dropped.
-                return
-            self._responses[uid] = response
-            waiter = self._waiters[uid]
-        if waiter is not None:
-            waiter.set()
-
-    def _respond_many(self, responses):
-        """Deliver a batch of ``(uid, response)`` pairs in one lock round-trip."""
-        to_wake = []
-        with self._lock:
-            waiters = self._waiters
-            stored = self._responses
-            for uid, response in responses:
-                if uid not in waiters or uid in stored:
-                    continue  # same duplicate/timeout policy as _respond
-                stored[uid] = response
-                waiter = waiters[uid]
-                if waiter is not None:
-                    to_wake.append(waiter)
-        for waiter in to_wake:
-            waiter.set()
-
-    def _record_boundary_violation(self):
-        with self._lock:
-            self.marker_boundary_violations += 1
-
-    def _take_response(self, uid):
-        with self._lock:
-            self._waiters.pop(uid, None)
-            return self._responses.pop(uid)
+    # Response routing (`_register_waiter`, `_respond_many`, ...) comes
+    # from :class:`ResponseRouter`, shared with the process cluster.
 
     # ------------------------------------------------------------------
     # Inspection helpers for tests

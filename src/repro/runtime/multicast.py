@@ -1,213 +1,35 @@
-"""In-process atomic multicast for the threaded runtime."""
+"""Transport-neutral atomic multicast core (sequencer, log, registration).
 
-import collections
-import heapq
+``multicast(destinations, payload)`` assigns each message a global
+sequence number under a lock, appends it to the retained log, and hands
+it to the pluggable :class:`~repro.runtime.transport.base.Transport`
+for delivery to every worker thread subscribed to a destination group.
+The default transport is
+:class:`~repro.runtime.transport.inproc.InprocTransport` (per-thread
+in-process queues, optionally detoured through the fault pipe), which
+makes :class:`LocalAtomicMulticast` behave exactly as it did before the
+transport split; the process-per-replica runtime plugs in
+:class:`~repro.runtime.transport.tcp.TcpCoordinatorTransport` instead.
+
+``DeliveryQueue`` and ``FaultyLinkPipe`` live in
+:mod:`repro.runtime.transport.inproc` and are re-exported here for
+compatibility.
+"""
+
 import itertools
 import pickle
-import queue
 import threading
-import time
 
 from repro.common import codec as _codec
 from repro.common.errors import ConfigurationError, RecoveryError
-from repro.common.faults import ReliableLink
 from repro.core.command import Command
 from repro.multicast.group import ALL_GROUPS, GroupLayout
-
-
-class DeliveryQueue:
-    """A worker thread's delivery queue, drainable in batches.
-
-    ``queue.Queue`` costs one lock round-trip per item on both sides; the
-    hot path instead drains *everything available* (up to ``max_items``)
-    in a single :meth:`get_batch` acquisition, which is where the threaded
-    runtime's batched-delivery speedup comes from.  Semantics are otherwise
-    those of an unbounded FIFO queue.
-    """
-
-    def __init__(self):
-        self._items = collections.deque()
-        self._cond = threading.Condition()
-
-    def put(self, item):
-        with self._cond:
-            self._items.append(item)
-            self._cond.notify()
-
-    def put_many(self, items):
-        with self._cond:
-            self._items.extend(items)
-            self._cond.notify_all()
-
-    def get(self):
-        """Block until one item is available and return it."""
-        with self._cond:
-            self._cond.wait_for(lambda: self._items)
-            return self._items.popleft()
-
-    def get_batch(self, max_items):
-        """Block until items are available; return up to ``max_items`` of them."""
-        with self._cond:
-            self._cond.wait_for(lambda: self._items)
-            items = self._items
-            if len(items) <= max_items:
-                batch = list(items)
-                items.clear()
-            else:
-                batch = [items.popleft() for _ in range(max_items)]
-            return batch
-
-    def get_nowait(self):
-        """Return one item without blocking; raise ``queue.Empty`` when empty."""
-        with self._cond:
-            if not self._items:
-                raise queue.Empty
-            return self._items.popleft()
-
-    def qsize(self):
-        with self._cond:
-            return len(self._items)
-
-    def empty(self):
-        with self._cond:
-            return not self._items
-
-
-class FaultyLinkPipe:
-    """Background delivery pipe applying a :class:`FaultPlane` to each link.
-
-    When the multicast has a fault plane, ordered messages are no longer
-    put on worker queues inline: each (replica, thread) link gets per-link
-    sequence numbers and the plane plans per-copy arrival delays.  One
-    background thread pops copies from a time-ordered heap; at fire time a
-    copy whose link is partitioned is pushed back ``retransmit_backoff``
-    later (a partition is latency, not loss), and surviving copies pass
-    through a receiver-side :class:`ReliableLink` that deduplicates and
-    releases in sequence order — so the worker queue still sees a
-    gap-free FIFO stream and the multicast's ordering guarantees hold
-    under every fault.
-
-    ``in_flight()`` counts copies still in the heap plus items parked in
-    reassembly buffers; :meth:`LocalAtomicMulticast.pending_count` adds it
-    so drain checks cannot return early during a delay window.  Per-replica
-    incarnation counters, bumped when a replica's queues are (un)registered,
-    invalidate copies addressed to a crashed or replaced registration.
-    """
-
-    def __init__(self, fault_plane):
-        self.plane = fault_plane
-        self._cond = threading.Condition()
-        self._heap = []
-        self._tiebreak = itertools.count()
-        self._incarnations = {}  # replica_id -> int
-        self._send_seq = {}  # (replica_id, thread_index) -> next link sequence
-        self._recv = {}  # (replica_id, thread_index) -> ReliableLink
-        self._closed = False
-        self._thread = threading.Thread(
-            target=self._run, name="psmr-fault-pipe", daemon=True
-        )
-        self._thread.start()
-
-    @staticmethod
-    def node_name(replica_id):
-        return f"replica{replica_id}"
-
-    def reset_replica(self, replica_id):
-        """Invalidate in-flight copies and link state for one replica."""
-        with self._cond:
-            self._incarnations[replica_id] = self._incarnations.get(replica_id, 0) + 1
-            for key in [k for k in self._send_seq if k[0] == replica_id]:
-                del self._send_seq[key]
-            for key in [k for k in self._recv if k[0] == replica_id]:
-                del self._recv[key]
-            self._cond.notify()
-
-    def send(self, replica_id, targets, item):
-        """Route ``item`` to ``[(thread_index, queue)]`` of one replica."""
-        delays = self.plane.plan_delivery("order", self.node_name(replica_id))
-        now = time.monotonic()
-        with self._cond:
-            incarnation = self._incarnations.get(replica_id, 0)
-            for thread_index, delivery_queue in targets:
-                key = (replica_id, thread_index)
-                sequence = self._send_seq.get(key, 0)
-                self._send_seq[key] = sequence + 1
-                for delay in delays:
-                    heapq.heappush(
-                        self._heap,
-                        (
-                            now + delay,
-                            next(self._tiebreak),
-                            key,
-                            incarnation,
-                            sequence,
-                            delivery_queue,
-                            item,
-                        ),
-                    )
-            self._cond.notify()
-
-    def in_flight(self, replica_id=None):
-        """Copies in the heap plus reassembly-parked items (live links only)."""
-        with self._cond:
-            count = 0
-            for _due, _tb, key, incarnation, _seq, _q, _item in self._heap:
-                if incarnation != self._incarnations.get(key[0], 0):
-                    continue
-                if replica_id is None or key[0] == replica_id:
-                    count += 1
-            for key, link in self._recv.items():
-                if replica_id is None or key[0] == replica_id:
-                    count += link.pending()
-            return count
-
-    def close(self):
-        with self._cond:
-            self._closed = True
-            self._cond.notify()
-        self._thread.join(timeout=5.0)
-
-    def _run(self):
-        backoff = self.plane.retransmit_backoff
-        while True:
-            released = None
-            with self._cond:
-                if self._closed:
-                    return
-                now = time.monotonic()
-                if not self._heap:
-                    self._cond.wait(timeout=0.1)
-                    continue
-                due = self._heap[0][0]
-                if due > now:
-                    self._cond.wait(timeout=min(due - now, 0.1))
-                    continue
-                entry = heapq.heappop(self._heap)
-                _due, _tb, key, incarnation, sequence, delivery_queue, item = entry
-                replica_id, _thread_index = key
-                if incarnation != self._incarnations.get(replica_id, 0):
-                    continue
-                if self.plane.is_blocked("order", self.node_name(replica_id)):
-                    self.plane.note_blocked_retry()
-                    heapq.heappush(
-                        self._heap,
-                        (
-                            now + backoff,
-                            next(self._tiebreak),
-                            key,
-                            incarnation,
-                            sequence,
-                            delivery_queue,
-                            item,
-                        ),
-                    )
-                    continue
-                link = self._recv.get(key)
-                if link is None:
-                    link = self._recv[key] = ReliableLink()
-                released = link.accept(sequence, item)
-            if released:
-                delivery_queue.put_many(released)
+from repro.runtime.transport.base import TransportRoute
+from repro.runtime.transport.inproc import (  # noqa: F401  (compat re-export)
+    DeliveryQueue,
+    FaultyLinkPipe,
+    InprocTransport,
+)
 
 
 def encode_wire(command, wire_codec):
@@ -243,20 +65,33 @@ class LocalAtomicMulticast:
     any new multicast can slip in between.  ``retention`` bounds the log
     (``None`` keeps everything); replaying past a truncated prefix raises
     :class:`~repro.common.errors.RecoveryError`.
+
+    ``transport`` selects the delivery layer; ``None`` builds an
+    :class:`~repro.runtime.transport.inproc.InprocTransport` around
+    ``fault_plane`` (the threaded runtime's behaviour).
     """
 
-    def __init__(self, mpl, retention=None, wire_codec=None, fault_plane=None):
+    def __init__(self, mpl, retention=None, wire_codec=None, fault_plane=None,
+                 transport=None):
         if mpl < 1:
             raise ConfigurationError("multiprogramming level must be >= 1")
         if retention is not None and retention < 1:
             raise ConfigurationError("log retention must be >= 1 (or None)")
         if wire_codec not in (None, "binary", "pickle"):
             raise ConfigurationError(f"unknown wire codec {wire_codec!r}")
-        #: Optional :class:`~repro.common.faults.FaultPlane`; when set, all
-        #: deliveries detour through a :class:`FaultyLinkPipe` instead of
-        #: the inline fast path.
+        if transport is not None and fault_plane is not None:
+            raise ConfigurationError(
+                "pass the fault plane to the transport, not the multicast, "
+                "when supplying a transport explicitly"
+            )
+        #: Optional :class:`~repro.common.faults.FaultPlane`; when set (and
+        #: no explicit transport is given), all deliveries detour through
+        #: the in-process :class:`FaultyLinkPipe` instead of the inline
+        #: fast path.
         self.fault_plane = fault_plane
-        self._pipe = FaultyLinkPipe(fault_plane) if fault_plane is not None else None
+        self.transport = (
+            transport if transport is not None else InprocTransport(fault_plane)
+        )
         self.layout = GroupLayout(mpl)
         self.mpl = mpl
         #: ``None`` passes command objects by reference (zero-copy, the
@@ -269,12 +104,12 @@ class LocalAtomicMulticast:
         self.wire_bytes = 0
         self._lock = threading.Lock()
         self._sequence = itertools.count()
-        # (replica_id, thread_index) -> delivery queue
+        # (replica_id, thread_index) -> delivery endpoint
         self._queues = {}
         # Hot-path caches: destinations -> delivering thread set (the
         # layout is fixed by mpl, so entries never go stale), and thread
-        # set -> list of subscribed queues (cleared on every registration
-        # change, rebuilt lazily under the lock).
+        # set -> TransportRoute over the subscribed endpoints (cleared on
+        # every registration change, rebuilt lazily under the lock).
         self._threads_for = {}
         self._routes = {}
         # Retained ordered messages: (sequence, destinations, threads, payload).
@@ -308,50 +143,44 @@ class LocalAtomicMulticast:
                     f"multicast log truncated at {self._min_retained}; cannot "
                     f"replay after sequence {after_sequence}"
                 )
-            queues = {}
+            endpoints = {}
             try:
                 for thread_index in thread_indices:
-                    delivery_queue = self._register_locked(replica_id, thread_index)
-                    if after_sequence is not None:
-                        delivery_queue.put_many(
-                            (sequence, destinations, payload)
-                            for sequence, destinations, threads, payload in self._log
-                            if sequence > after_sequence and thread_index in threads
-                        )
-                    queues[thread_index] = delivery_queue
+                    endpoints[thread_index] = self._register_locked(
+                        replica_id, thread_index
+                    )
             except Exception:
                 # Roll back the threads registered so far: a failure halfway
                 # through (e.g. one duplicate thread index) must not leave
                 # the earlier threads of the same call registered forever.
-                for thread_index in queues:
+                for thread_index in endpoints:
                     self._queues.pop((replica_id, thread_index), None)
                 raise
-            if self._pipe is not None:
-                # Fresh incarnation: link sequences restart at zero and any
-                # copy still in flight toward the old registration is void.
-                # The replayed suffix above bypasses the pipe deliberately —
-                # recovery replay is a local handover, not network traffic.
-                self._pipe.reset_replica(replica_id)
-            return queues
+            replay = None
+            if after_sequence is not None:
+                replay = [
+                    entry for entry in self._log if entry[0] > after_sequence
+                ]
+            self.transport.on_replica_registered(replica_id, endpoints, replay)
+            return endpoints
 
     def _register_locked(self, replica_id, thread_index):
         key = (replica_id, thread_index)
         if key in self._queues:
             raise ConfigurationError(f"thread {key} registered twice")
-        delivery_queue = DeliveryQueue()
-        self._queues[key] = delivery_queue
+        endpoint = self.transport.open_endpoint(replica_id, thread_index)
+        self._queues[key] = endpoint
         self._routes.clear()
-        return delivery_queue
+        return endpoint
 
     def unregister_replica(self, replica_id):
         """Remove a replica's queues (no further deliveries); return them."""
         with self._lock:
             keys = [key for key in self._queues if key[0] == replica_id]
-            queues = {key[1]: self._queues.pop(key) for key in keys}
+            endpoints = {key[1]: self._queues.pop(key) for key in keys}
             self._routes.clear()
-            if self._pipe is not None:
-                self._pipe.reset_replica(replica_id)
-            return queues
+            self.transport.on_replica_unregistered(replica_id, endpoints)
+            return endpoints
 
     def replica_ids(self):
         with self._lock:
@@ -390,31 +219,31 @@ class LocalAtomicMulticast:
                 del self._log[: len(self._log) - self._retention]
                 self._min_retained = self._log[0][0]
             item = (sequence, destinations, payload)
-            if self._pipe is not None:
-                # Fault path: group targets per replica so the plane plans
-                # one per-replica delivery (all threads of a replica share
-                # the planned copies, like one connection per peer), in a
+            route = self._routes.get(threads)
+            if route is None:
+                flat = [
+                    endpoint
+                    for (_replica, thread_index), endpoint in self._queues.items()
+                    if thread_index in threads
+                ]
+                # Group targets per replica so fault planning sees one
+                # per-replica delivery (all threads of a replica share the
+                # planned copies, like one connection per peer), in a
                 # stable replica order so the plane's rng draws line up
                 # across replays of the same ordered-message sequence.
                 by_replica = {}
-                for (replica, thread_index), delivery_queue in self._queues.items():
+                for (replica, thread_index), endpoint in self._queues.items():
                     if thread_index in threads:
                         by_replica.setdefault(replica, []).append(
-                            (thread_index, delivery_queue)
+                            (thread_index, endpoint)
                         )
-                for replica in sorted(by_replica):
-                    self._pipe.send(replica, by_replica[replica], item)
-            else:
-                route = self._routes.get(threads)
-                if route is None:
-                    route = [
-                        queue
-                        for (_replica, thread_index), queue in self._queues.items()
-                        if thread_index in threads
-                    ]
-                    self._routes[threads] = route
-                for delivery_queue in route:
-                    delivery_queue.put(item)
+                grouped = [
+                    (replica, by_replica[replica])
+                    for replica in sorted(by_replica)
+                ]
+                route = TransportRoute(flat, grouped)
+                self._routes[threads] = route
+            self.transport.send(route, item)
         return sequence
 
     # ------------------------------------------------------------------
@@ -467,19 +296,18 @@ class LocalAtomicMulticast:
     def pending_count(self, replica_id=None):
         """Undelivered messages across all queues (or one replica's).
 
-        Includes messages still held by the fault plane's delivery pipe —
-        delayed, retransmitting, partition-parked or awaiting in-order
-        reassembly — so a drain check cannot report an empty system while
-        copies are merely late.
+        Includes messages still held by the transport — delayed,
+        retransmitting, partition-parked, awaiting in-order reassembly or
+        not yet written to a socket — so a drain check cannot report an
+        empty system while copies are merely late.
         """
         with self._lock:
             count = sum(
-                delivery_queue.qsize()
-                for (queue_replica, _thread), delivery_queue in self._queues.items()
+                endpoint.qsize()
+                for (queue_replica, _thread), endpoint in self._queues.items()
                 if replica_id is None or queue_replica == replica_id
             )
-        if self._pipe is not None:
-            count += self._pipe.in_flight(replica_id)
+        count += self.transport.in_flight(replica_id)
         return count
 
     def is_drained(self, replica_id=None):
@@ -488,8 +316,5 @@ class LocalAtomicMulticast:
 
     def shutdown(self):
         """Deliver a poison pill to every registered thread."""
-        if self._pipe is not None:
-            self._pipe.close()
         with self._lock:
-            for delivery_queue in self._queues.values():
-                delivery_queue.put(None)
+            self.transport.shutdown(dict(self._queues))

@@ -1,0 +1,453 @@
+"""Replica process entry point (``python -m repro.runtime.replica_proc``).
+
+One OS process per replica: the coordinator spawns this module with the
+replica's identity, service and durable-store directory; it dials back
+over TCP, replays the handshake (``hello`` → ``welcome`` → optional
+``restore`` → ``start``) and then runs the same execution model as the
+threaded runtime's ``_Replica`` — ``mpl`` worker threads draining
+per-thread delivery queues in batches, barrier-synchronised execution
+for synchronous-mode commands, checkpoint markers cutting consistent
+snapshots persisted to the local :class:`CheckpointStore`.
+
+The receive loop is the process's main thread: it reassembles the
+(possibly reordered/duplicated) ``d`` frames through a
+:class:`~repro.common.faults.ReliableLink`, fans each ordered message
+out to the delivering worker threads locally, and answers the
+coordinator's management requests (stats, snapshots, chain donations,
+compaction) inline.  Killing this process with SIGKILL is therefore a
+*real* crash: no flushes, no goodbyes — recovery starts from whatever
+the checkpoint store's crash-safe segments hold.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import threading
+
+from repro.common.checkpoint import (
+    CheckpointPolicy,
+    compact_chain,
+    estimate_checkpoint_size,
+    restore_chain,
+)
+from repro.common.checkpoint_store import CheckpointStore
+from repro.common.errors import ReplicaCrashedError
+from repro.common.faults import ReliableLink
+from repro.multicast.group import GroupLayout
+from repro.runtime.cluster import _BarrierSync, _cached_plan
+from repro.runtime.multicast import decode_wire
+from repro.runtime.transport import wire
+from repro.runtime.transport.inproc import DeliveryQueue
+from repro.services import KeyValueStoreServer, NetFSServer
+
+SERVICES = {
+    "kvstore": KeyValueStoreServer,
+    "netfs": NetFSServer,
+}
+
+is_marker = wire.is_marker
+
+
+class ReplicaProcess:
+    """The replica-side runtime: socket client + worker threads."""
+
+    def __init__(self, sock, replica_id, mpl, service_factory, store):
+        self.sock = sock
+        self.replica_id = replica_id
+        self.mpl = mpl
+        self.service_factory = service_factory
+        self.store = store
+        self.service = None
+        self.layout = GroupLayout(mpl)
+        self.barrier = _BarrierSync()
+        self.queues = {
+            index: DeliveryQueue() for index in range(1, mpl + 1)
+        }
+        self.link = ReliableLink()
+        self.chain = store.load_chain() if store is not None else []
+        self.chain_lock = threading.Lock()
+        self.watermark = self.chain[-1]["sequence"] if self.chain else -1
+        self.deltas_since_full = sum(
+            1 for entry in self.chain if entry["kind"] == "delta"
+        )
+        self.policy = None
+        self.batch_size = 32
+        self.barrier_timeout = 10.0
+        self.delivered = [0] * (mpl + 1)
+        self.batches = [0] * (mpl + 1)
+        self.boundary_violations = 0
+        self._write_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.workers = []
+        self._restored = False
+
+    # ------------------------------------------------------------------
+    # Outbound frames (any thread; serialised by the write lock)
+    # ------------------------------------------------------------------
+    def send(self, message):
+        wire.send_message(self.sock, message, lock=self._write_lock)
+
+    def manifest(self):
+        return tuple(
+            (entry["kind"], entry["sequence"]) for entry in self.chain
+        )
+
+    def send_hello(self):
+        self.send(
+            {
+                "t": "hello",
+                "replica": self.replica_id,
+                "watermark": self.watermark,
+                "manifest": self.manifest(),
+                "pid": os.getpid(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Handshake (main thread)
+    # ------------------------------------------------------------------
+    def apply_welcome(self, message):
+        self.batch_size = message["batch"]
+        self.barrier_timeout = message["barrier_timeout"]
+        full_every = message.get("full_every")
+        compact_after = message.get("compact_after")
+        max_replay_lag = message.get("max_replay_lag")
+        if full_every is not None:
+            # ``every_messages=1`` is a placeholder trigger: scheduling
+            # lives on the coordinator, the replica only consults the
+            # policy's full/delta cadence and compaction knobs.
+            self.policy = CheckpointPolicy(
+                every_messages=1,
+                full_every=full_every,
+                compact_after=compact_after,
+                max_replay_lag=max_replay_lag,
+            )
+
+    def apply_restore(self, message):
+        service = self.service_factory()
+        if message["mode"] == "full":
+            service.restore(message["state"])
+            with self.chain_lock:
+                self.chain = [
+                    {
+                        "kind": "full",
+                        "sequence": message["sequence"],
+                        "payload": message["state"],
+                    }
+                ]
+                self.watermark = message["sequence"]
+                self.deltas_since_full = 0
+                self._persist_locked()
+        else:  # chain-suffix transfer extending the durable chain
+            suffix = wire.decode_chain(message["entries"])
+            with self.chain_lock:
+                self.chain = [*self.chain, *suffix]
+                restore_chain(service, self.chain)
+                self.watermark = self.chain[-1]["sequence"]
+                self.deltas_since_full = sum(
+                    1 for entry in self.chain if entry["kind"] == "delta"
+                )
+                self._persist_locked()
+        self.service = service
+        self._restored = True
+
+    def start_workers(self):
+        if self.service is None:
+            # No transfer happened: replay recovery (restore the durable
+            # chain we advertised) or a genuinely fresh replica.
+            self.service = self.service_factory()
+            if self.chain:
+                restore_chain(self.service, self.chain)
+        for index in range(1, self.mpl + 1):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(index, self.queues[index]),
+                name=f"psmr-proc-replica{self.replica_id}-t{index}",
+                daemon=True,
+            )
+            self.workers.append(worker)
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Ordered-stream dispatch (main thread)
+    # ------------------------------------------------------------------
+    def dispatch_deliver(self, message):
+        for released in self.link.accept(message["ls"], message):
+            sequence = released["s"]
+            destinations = wire.decode_destinations(released["dst"])
+            item = (sequence, destinations, released["b"])
+            for index in self.layout.delivering_threads(destinations):
+                self.queues[index].put(item)
+
+    # ------------------------------------------------------------------
+    # Worker threads: the same loop as the threaded ``_Replica``
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index, delivery_queue):
+        mpl = self.mpl
+        pending = []  # (uid, value, error) triples not yet framed
+        while True:
+            batch = delivery_queue.get_batch(self.batch_size)
+            self.batches[index] += 1
+            for item in batch:
+                if item is None:
+                    self._flush_responses(pending)
+                    return
+                sequence, destinations, payload = item
+                self.delivered[index] += 1
+                try:
+                    if is_marker(payload):
+                        # The marker cuts the batch, exactly as in the
+                        # threaded runtime: responses from before it are
+                        # framed to the coordinator before the barrier.
+                        self._flush_responses(pending)
+                        self._handle_marker(sequence, payload, index)
+                        if pending:
+                            with self._counter_lock:
+                                self.boundary_violations += 1
+                            self._flush_responses(pending)
+                        continue
+                    command = decode_wire(payload)
+                    plan = _cached_plan(destinations, index, mpl)
+                    if plan.mode == "parallel":
+                        pending.append(self._execute(command))
+                    elif plan.mode == "execute":
+                        self._flush_responses(pending)
+                        self.barrier.wait_for_peers(
+                            command.uid, plan.peers,
+                            timeout=self.barrier_timeout,
+                        )
+                        self._flush_responses([self._execute(command)])
+                        self.barrier.complete(command.uid)
+                    elif plan.mode == "assist":
+                        self._flush_responses(pending)
+                        self.barrier.signal(command.uid, index)
+                        self.barrier.wait_for_completion(
+                            command.uid, timeout=self.barrier_timeout
+                        )
+                except ReplicaCrashedError:
+                    return
+            self._flush_responses(pending)
+
+    def _execute(self, command):
+        response = self.service.apply(command)
+        return (command.uid, response.value, response.error)
+
+    def _flush_responses(self, pending):
+        if pending:
+            self.send({"t": "r", "resps": tuple(pending)})
+            pending.clear()
+
+    def _handle_marker(self, sequence, marker, index):
+        uid = ("__checkpoint__", marker["marker"])
+        if index != 1:
+            self.barrier.signal(uid, index)
+            self.barrier.wait_for_completion(uid, timeout=self.barrier_timeout)
+            return
+        self.barrier.wait_for_peers(
+            uid, range(2, self.mpl + 1), timeout=self.barrier_timeout
+        )
+        source = marker["source"]
+        if source is None:
+            with self.chain_lock:
+                entry = self._take_local_checkpoint(sequence)
+                self.watermark = sequence
+                self._persist_locked()
+            self._send_marker_done(marker, sequence, entry, state=None)
+        elif source == self.replica_id:
+            state = self.service.checkpoint()
+            if hasattr(self.service, "reset_delta_tracking"):
+                self.service.reset_delta_tracking()
+            entry = {"kind": "full", "sequence": sequence, "payload": state}
+            with self.chain_lock:
+                self.chain = [entry]
+                self.watermark = sequence
+                self.deltas_since_full = 0
+                self._persist_locked()
+            self._send_marker_done(marker, sequence, entry, state=state)
+        self.barrier.complete(uid)
+
+    def _take_local_checkpoint(self, sequence):
+        chain = self.chain
+        take_delta = (
+            chain
+            and self.policy is not None
+            and not self.policy.take_full(self.deltas_since_full)
+            and hasattr(self.service, "delta_checkpoint")
+        )
+        if take_delta:
+            entry = {
+                "kind": "delta",
+                "sequence": sequence,
+                "payload": self.service.delta_checkpoint(),
+            }
+            self.deltas_since_full += 1
+            self.chain = [*chain, entry]
+        else:
+            entry = {
+                "kind": "full",
+                "sequence": sequence,
+                "payload": self.service.checkpoint(),
+            }
+            if hasattr(self.service, "reset_delta_tracking"):
+                self.service.reset_delta_tracking()
+            self.deltas_since_full = 0
+            self.chain = [entry]
+        return entry
+
+    def _persist_locked(self):
+        if self.store is not None:
+            self.store.sync_chain(self.chain)
+
+    def _send_marker_done(self, marker, sequence, entry, state):
+        with self._counter_lock:
+            boundary = self.boundary_violations
+        self.send(
+            {
+                "t": "mk",
+                "marker": marker["marker"],
+                "sequence": sequence,
+                "manifest": self.manifest(),
+                "kind": entry["kind"],
+                "raw_bytes": estimate_checkpoint_size(entry["payload"]),
+                "state": state,
+                "boundary": boundary,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Management requests (main thread, inline — all cheap)
+    # ------------------------------------------------------------------
+    def handle_request(self, message):
+        kind = message["t"]
+        req = message.get("req")
+        if kind == "stats?":
+            with self._counter_lock:
+                boundary = self.boundary_violations
+            self.send(
+                {
+                    "t": "stats",
+                    "req": req,
+                    "executed": getattr(
+                        self.service, "commands_executed", 0
+                    ),
+                    "queued": sum(q.qsize() for q in self.queues.values())
+                    + self.link.pending(),
+                    "delivered": sum(self.delivered),
+                    "batches": sum(self.batches),
+                    "boundary": boundary,
+                }
+            )
+        elif kind == "snap?":
+            state = self.service.snapshot() if self.service else None
+            self.send({"t": "snap", "req": req, "state": state})
+        elif kind == "chain?":
+            after = message["after"]
+            with self.chain_lock:
+                positions = [
+                    i for i, entry in enumerate(self.chain)
+                    if entry["sequence"] == after
+                ]
+                entries = (
+                    wire.encode_chain(self.chain[positions[0] + 1:])
+                    if positions
+                    else None
+                )
+            self.send({"t": "chain", "req": req, "entries": entries})
+        elif kind == "compact":
+            compacted = 0
+            with self.chain_lock:
+                deltas = len(self.chain) - 1
+                if (
+                    self.policy is not None
+                    and deltas > 0
+                    and self.policy.compact_due(deltas)
+                ):
+                    self.chain = compact_chain(self.chain)
+                    self._persist_locked()
+                    compacted = 1
+                manifest = self.manifest()
+            self.send(
+                {
+                    "t": "compacted",
+                    "req": req,
+                    "count": compacted,
+                    "manifest": manifest,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        self.send_hello()
+        while True:
+            try:
+                message = wire.recv_message(self.sock)
+            except wire.WireError:
+                break
+            if message is None:
+                break
+            kind = message.get("t")
+            if kind == "d":
+                self.dispatch_deliver(message)
+            elif kind == "welcome":
+                self.apply_welcome(message)
+            elif kind == "restore":
+                self.apply_restore(message)
+            elif kind == "start":
+                self.start_workers()
+            elif kind == "bye":
+                break
+            else:
+                self.handle_request(message)
+        self.stop_workers()
+
+    def stop_workers(self):
+        for delivery_queue in self.queues.values():
+            delivery_queue.put(None)
+        for worker in self.workers:
+            worker.join(timeout=5.0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.runtime.replica_proc")
+    parser.add_argument("--host", required=True)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--replica-id", type=int, required=True)
+    parser.add_argument("--mpl", type=int, required=True)
+    parser.add_argument("--service", choices=sorted(SERVICES), required=True)
+    parser.add_argument("--service-args", default="{}")
+    parser.add_argument("--store-dir", required=True)
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any durable state (a replacement node, not a restart)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fresh and os.path.isdir(args.store_dir):
+        shutil.rmtree(args.store_dir)
+    store = CheckpointStore(args.store_dir)
+    service_kwargs = json.loads(args.service_args)
+    server_class = SERVICES[args.service]
+
+    def service_factory():
+        return server_class(**service_kwargs)
+
+    sock = wire.connect_with_backoff(args.host, args.port)
+    try:
+        ReplicaProcess(
+            sock, args.replica_id, args.mpl, service_factory, store
+        ).run()
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,388 @@
+"""TCP transport: the ordered stream over real sockets to real processes.
+
+The coordinator (the process running :class:`LocalAtomicMulticast`) owns
+an asyncio event loop on a background thread with a listening socket on
+loopback.  Each replica *process* dials in, sends a ``hello`` frame, and
+from then on the transport pushes one ``d`` (deliver) frame per ordered
+message per replica — the replica fans the message out to its worker
+threads locally, mirroring the in-process pipe's one-planned-delivery-
+per-replica model so the fault plane's RNG draws line up across both
+runtimes.
+
+Fault injection happens here, per link, as a frame proxy: ``send`` asks
+the plane for per-copy delays (``plan_delivery``), schedules each copy
+with ``loop.call_later``, and at fire time re-parks copies whose link is
+partitioned (``is_blocked`` → ``retransmit_backoff`` later — a partition
+is latency, not loss).  Duplicated and reordered copies are repaired by
+the receiver-side :class:`~repro.common.faults.ReliableLink` in the
+replica process, exactly as in the threaded pipe.
+
+Connection epochs: each accepted ``hello`` and each unregistration bumps
+the replica's epoch, voiding copies still scheduled toward the previous
+connection — the socket analogue of the pipe's incarnation counters.
+Control traffic (handshake, restore, stats, snapshots, shutdown) bypasses
+fault planning and link sequencing; it is management traffic, like the
+un-faulted response path in the threaded runtime.
+"""
+
+import asyncio
+import threading
+
+from repro.common import framing
+from repro.common.errors import RecoveryError
+from repro.runtime.transport import wire
+from repro.runtime.transport.base import Transport
+
+
+class _NullEndpoint:
+    """Placeholder delivery endpoint: frames go out the socket instead,
+    so the coordinator-side queue depth is always zero (in-flight copies
+    are counted by the transport itself)."""
+
+    __slots__ = ()
+
+    def qsize(self):
+        return 0
+
+    def put(self, item):  # poison pills from core shutdown: nothing to do
+        return None
+
+
+class TcpCoordinatorTransport(Transport):
+    """Server side of the process runtime's wire protocol.
+
+    ``send``/``in_flight``/``on_replica_*`` satisfy the
+    :class:`Transport` contract (called under the multicast's sequencer
+    lock); ``control_send``/``take_hello``/``request-style`` traffic is
+    the cluster's management plane.  ``on_message(replica_id, message)``
+    is invoked on the event-loop thread for every inbound frame after the
+    hello — handlers must be cheap and non-blocking.
+    """
+
+    def __init__(self, fault_plane=None, on_message=None, host="127.0.0.1"):
+        self.fault_plane = fault_plane
+        self.on_message = on_message
+        self.host = host
+        self.port = None
+        self._loop = None
+        self._server = None
+        self._thread = None
+        self._lock = threading.Lock()
+        # replica_id -> (reader, writer); only the current connection.
+        self._links = {}
+        self._epochs = {}  # replica_id -> int, bumped at hello/unregister
+        self._send_seq = {}  # replica_id -> next link sequence
+        self._in_flight = {}  # (replica_id, epoch) -> scheduled copy count
+        self._hellos = {}  # replica_id -> (threading.Event, message)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Bind the listening socket; returns ``(host, port)``."""
+        ready = threading.Event()
+
+        def _run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def _serve():
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self.host, 0
+                )
+                self.port = self._server.sockets[0].getsockname()[1]
+                ready.set()
+
+            loop.run_until_complete(_serve())
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="psmr-tcp-coordinator", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RecoveryError("coordinator transport failed to bind")
+        return self.host, self.port
+
+    def close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            writers = [writer for _reader, writer in self._links.values()]
+            self._links.clear()
+        loop = self._loop
+        if loop is None:
+            return
+
+        def _stop():
+            for writer in writers:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            if self._server is not None:
+                self._server.close()
+            loop.stop()
+
+        try:
+            loop.call_soon_threadsafe(_stop)
+        except RuntimeError:
+            return
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Connection handling (event-loop thread)
+    # ------------------------------------------------------------------
+    async def _read_message(self, reader):
+        try:
+            header = await reader.readexactly(framing.HEADER_SIZE)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        parsed = framing.parse_header(header, framing.WIRE_MAGIC)
+        if parsed is None:
+            return None
+        length, crc = parsed
+        try:
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        if not framing.payload_valid(payload, length, crc):
+            return None
+        try:
+            return wire.decode_payload(payload)
+        except Exception:
+            return None
+
+    async def _handle_connection(self, reader, writer):
+        message = await self._read_message(reader)
+        if not isinstance(message, dict) or message.get("t") != "hello":
+            writer.close()
+            return
+        replica_id = message["replica"]
+        with self._lock:
+            if self._closed:
+                writer.close()
+                return
+            old = self._links.get(replica_id)
+            # New connection: new epoch (in-flight copies toward the old
+            # one are void) and link sequences restart at zero.
+            self._epochs[replica_id] = self._epochs.get(replica_id, 0) + 1
+            self._send_seq[replica_id] = 0
+            self._links[replica_id] = (reader, writer)
+            waiter = self._hellos.get(replica_id)
+            if waiter is not None:
+                waiter[1] = message
+                waiter[0].set()
+        if old is not None:
+            try:
+                old[1].close()
+            except Exception:
+                pass
+        while True:
+            message = await self._read_message(reader)
+            if message is None:
+                break
+            if self.on_message is not None:
+                self.on_message(replica_id, message)
+        with self._lock:
+            if self._links.get(replica_id) == (reader, writer):
+                del self._links[replica_id]
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Hello handshake (cluster thread)
+    # ------------------------------------------------------------------
+    def discard_hello(self, replica_id):
+        """Arm a fresh hello waiter before (re)spawning a replica."""
+        with self._lock:
+            self._hellos[replica_id] = [threading.Event(), None]
+
+    def take_hello(self, replica_id, timeout):
+        """Block for the replica's hello frame; return the message."""
+        with self._lock:
+            waiter = self._hellos.get(replica_id)
+        if waiter is None:
+            raise RecoveryError(
+                f"no hello waiter armed for replica {replica_id}"
+            )
+        if not waiter[0].wait(timeout):
+            raise RecoveryError(
+                f"replica {replica_id} did not connect within {timeout}s"
+            )
+        with self._lock:
+            self._hellos.pop(replica_id, None)
+        return waiter[1]
+
+    # ------------------------------------------------------------------
+    # Transport interface (called under the multicast's sequencer lock)
+    # ------------------------------------------------------------------
+    def open_endpoint(self, replica_id, thread_index):
+        return _NullEndpoint()
+
+    def on_replica_registered(self, replica_id, endpoints, replay):
+        # Replay is a local handover, not network traffic: frames carry
+        # the retained suffix without fault planning, consuming link
+        # sequences from zero on the (fresh-epoch) connection.
+        if not replay:
+            return
+        frames = [
+            self._deliver_frame(replica_id, entry[0], entry[1], entry[3])
+            for entry in replay
+        ]
+        with self._lock:
+            epoch = self._epochs.get(replica_id, 0)
+            key = (replica_id, epoch)
+            self._in_flight[key] = self._in_flight.get(key, 0) + len(frames)
+        for frame in frames:
+            self._loop.call_soon_threadsafe(
+                self._schedule_frame, replica_id, epoch, frame, (0.0,)
+            )
+
+    def on_replica_unregistered(self, replica_id, endpoints):
+        with self._lock:
+            # Void every copy still scheduled toward this registration.
+            self._epochs[replica_id] = self._epochs.get(replica_id, 0) + 1
+            self._send_seq.pop(replica_id, None)
+
+    def _deliver_frame(self, replica_id, sequence, destinations, payload):
+        with self._lock:
+            link_sequence = self._send_seq.get(replica_id, 0)
+            self._send_seq[replica_id] = link_sequence + 1
+        return wire.encode_message(
+            {
+                "t": "d",
+                "ls": link_sequence,
+                "s": sequence,
+                "dst": wire.encode_destinations(destinations),
+                "b": payload,
+            }
+        )
+
+    def send(self, route, item):
+        sequence, destinations, payload = item
+        for replica_id, _targets in route.grouped:
+            if self.fault_plane is not None:
+                delays = self.fault_plane.plan_delivery(
+                    "order", f"replica{replica_id}"
+                )
+            else:
+                delays = (0.0,)
+            frame = self._deliver_frame(
+                replica_id, sequence, destinations, payload
+            )
+            with self._lock:
+                epoch = self._epochs.get(replica_id, 0)
+                key = (replica_id, epoch)
+                self._in_flight[key] = self._in_flight.get(key, 0) + len(
+                    delays
+                )
+            self._loop.call_soon_threadsafe(
+                self._schedule_frame, replica_id, epoch, frame, delays
+            )
+
+    # Event-loop thread from here down.  ``epoch`` is captured at send
+    # time, under the same lock acquisition that incremented in-flight,
+    # so every scheduled copy decrements the exact key it incremented.
+    def _schedule_frame(self, replica_id, epoch, frame, delays):
+        for delay in delays:
+            if delay <= 0:
+                self._fire(replica_id, epoch, frame)
+            else:
+                self._loop.call_later(
+                    delay, self._fire, replica_id, epoch, frame
+                )
+
+    def _fire(self, replica_id, epoch, frame):
+        with self._lock:
+            current = self._epochs.get(replica_id, 0)
+            if epoch != current:
+                self._decrement_locked(replica_id, epoch)
+                return
+            if self.fault_plane is not None and self.fault_plane.is_blocked(
+                "order", f"replica{replica_id}"
+            ):
+                # Partition: latency, not loss — re-park without touching
+                # the in-flight count so drain checks keep waiting.
+                self.fault_plane.note_blocked_retry()
+                self._loop.call_later(
+                    self.fault_plane.retransmit_backoff,
+                    self._fire,
+                    replica_id,
+                    epoch,
+                    frame,
+                )
+                return
+            link = self._links.get(replica_id)
+            self._decrement_locked(replica_id, epoch)
+        if link is None:
+            return
+        try:
+            link[1].write(frame)
+        except Exception:
+            pass
+
+    def _decrement_locked(self, replica_id, epoch):
+        key = (replica_id, epoch)
+        count = self._in_flight.get(key, 0) - 1
+        if count > 0:
+            self._in_flight[key] = count
+        else:
+            self._in_flight.pop(key, None)
+
+    def in_flight(self, replica_id=None):
+        with self._lock:
+            return sum(
+                count
+                for (rid, epoch), count in self._in_flight.items()
+                # Only current-epoch copies: stale copies toward a dead
+                # connection are semantically dropped already.
+                if epoch == self._epochs.get(rid, 0)
+                and (replica_id is None or rid == replica_id)
+            )
+
+    # ------------------------------------------------------------------
+    # Control plane (cluster thread): un-faulted management frames
+    # ------------------------------------------------------------------
+    def control_send(self, replica_id, message):
+        """Send a management frame outside link sequencing and fault
+        planning; returns False when the replica has no live connection."""
+        frame = wire.encode_message(message)
+        with self._lock:
+            link = self._links.get(replica_id)
+        if link is None or self._loop is None:
+            return False
+
+        def _write():
+            try:
+                link[1].write(frame)
+            except Exception:
+                pass
+
+        try:
+            self._loop.call_soon_threadsafe(_write)
+        except RuntimeError:
+            return False
+        return True
+
+    def connected(self, replica_id):
+        with self._lock:
+            return replica_id in self._links
+
+    def shutdown(self, endpoints):
+        """Core shutdown: ask every connected replica process to exit."""
+        seen = set()
+        for replica_id, _thread_index in endpoints:
+            if replica_id in seen:
+                continue
+            seen.add(replica_id)
+            self.control_send(replica_id, {"t": "bye"})

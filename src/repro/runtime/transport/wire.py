@@ -1,0 +1,184 @@
+"""Process-mode wire protocol: framed codec messages over a socket.
+
+Every message is one :mod:`repro.common.framing` frame (magic
+``PSMRWIR1``, length prefix, CRC-32) whose payload is a dict encoded
+with the :mod:`repro.common.codec` binary format.  The ``"t"`` key names
+the message type:
+
+======================  =====  ==============================================
+type                    dir    meaning
+======================  =====  ==============================================
+``hello``               c→s    first frame after connect: replica id, pid,
+                               durable-chain watermark + manifest
+``welcome``             s→c    handshake reply: mpl, batch size, barrier
+                               timeout and the checkpoint-policy knobs the
+                               replica needs locally (full_every,
+                               compact_after)
+``restore``             s→c    recovery state install before start: mode
+                               ``full`` (sequence + state) or ``chain``
+                               (suffix entries extending the local chain)
+``start``               s→c    registration complete; spin up workers
+``d``                   s→c    one ordered message: per-link sequence
+                               ``ls`` (the fault proxy may reorder or
+                               duplicate frames; a ReliableLink restores
+                               the gap-free stream), global sequence,
+                               destinations, body (encoded command bytes
+                               or a marker dict)
+``r``                   c→s    batched command responses
+``mk``                  c→s    marker executed: sequence, chain manifest,
+                               checkpoint kind/bytes, state (source
+                               markers only)
+``stats?``/``stats``    s→c/c→s  execution counters + queue backlog
+``snap?``/``snap``      s→c/c→s  service snapshot
+``chain?``/``chain``    s→c/c→s  chain-suffix donation after a cut
+``compact``/``compacted`` s→c/c→s  compact the local delta run if due
+``gossip``              c→s    manifest refresh outside a marker
+``bye``                 s→c    clean shutdown request
+======================  =====  ==============================================
+
+``destinations`` travel as the string ``"ALL"`` or a sorted tuple of
+group ids; chain entries as ``(kind, sequence, payload)`` tuples.
+"""
+
+import socket
+
+from repro.common import codec as _codec
+from repro.common import framing
+from repro.multicast.group import ALL_GROUPS
+
+
+class WireError(Exception):
+    """A peer sent something unframeable; the connection is unusable."""
+
+
+MARKER_KEY = "__psmr_marker__"
+
+
+def make_marker(marker_id, source_replica_id):
+    """The process runtime's checkpoint marker: a plain dict, because it
+    must cross the wire (the threaded ``CheckpointMarker`` carries live
+    threading state and cannot)."""
+    return {
+        MARKER_KEY: True,
+        "marker": marker_id,
+        "source": source_replica_id,
+    }
+
+
+def is_marker(payload):
+    return isinstance(payload, dict) and payload.get(MARKER_KEY)
+
+
+def encode_message(message):
+    """One wire frame for a message dict."""
+    return framing.encode_frame(
+        framing.WIRE_MAGIC, _codec.dumps(message, "binary")
+    )
+
+
+def decode_payload(payload):
+    """Decode a verified frame payload back into the message dict."""
+    return _codec.decode(payload)
+
+
+def encode_destinations(destinations):
+    """Destinations as codec-friendly wire data (`"ALL"` or sorted ids)."""
+    if destinations == ALL_GROUPS:
+        return ALL_GROUPS
+    return tuple(sorted(destinations))
+
+
+def decode_destinations(wire):
+    """Invert :func:`encode_destinations` (tuples stay tuples: every
+    consumer — ``plan_execution``, ``delivering_threads`` — accepts an
+    iterable of group ids, and tuples are hashable for the plan cache)."""
+    if wire == ALL_GROUPS:
+        return ALL_GROUPS
+    return tuple(wire)
+
+
+def encode_chain(chain):
+    """A checkpoint chain as ``(kind, sequence, payload)`` wire tuples."""
+    return tuple(
+        (entry["kind"], entry["sequence"], entry["payload"]) for entry in chain
+    )
+
+
+def decode_chain(wire):
+    """Invert :func:`encode_chain` back into chain-entry dicts."""
+    return [
+        {"kind": kind, "sequence": sequence, "payload": payload}
+        for kind, sequence, payload in wire
+    ]
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket helpers (the replica-process side)
+# ----------------------------------------------------------------------
+def read_exact(sock, count):
+    """Read exactly ``count`` bytes; ``None`` on EOF/reset."""
+    chunks = []
+    while count:
+        try:
+            chunk = sock.recv(count)
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock):
+    """Read one framed message; ``None`` on EOF; :class:`WireError` on a
+    corrupt frame (a byte error on an established stream is fatal)."""
+    header = read_exact(sock, framing.HEADER_SIZE)
+    if header is None:
+        return None
+    parsed = framing.parse_header(header, framing.WIRE_MAGIC)
+    if parsed is None:
+        raise WireError("bad frame header")
+    length, crc = parsed
+    payload = read_exact(sock, length)
+    if payload is None:
+        return None
+    if not framing.payload_valid(payload, length, crc):
+        raise WireError("frame checksum mismatch")
+    return decode_payload(payload)
+
+
+def send_message(sock, message, lock=None):
+    """Write one framed message (under ``lock`` when writers share the
+    socket); returns False when the connection is gone."""
+    data = encode_message(message)
+    try:
+        if lock is not None:
+            with lock:
+                sock.sendall(data)
+        else:
+            sock.sendall(data)
+    except OSError:
+        return False
+    return True
+
+
+def connect_with_backoff(host, port, deadline_seconds=15.0, base_delay=0.05):
+    """Dial the coordinator, retrying with exponential backoff.
+
+    A replica process races the coordinator's listen socket at spawn and
+    may outlive a coordinator restart; both sides of that race end with
+    the same loop: try, back off, try again until the deadline.
+    """
+    import time
+
+    deadline = time.monotonic() + deadline_seconds
+    delay = base_delay
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=2.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 2.0, 1.0)

@@ -1,0 +1,202 @@
+"""Integration tests for the process-per-replica runtime (ISSUE 8).
+
+Every replica here is a real OS process reached over TCP: crashes are
+literal ``SIGKILL``s, restarts re-exec the replica binary against its
+durable store, and injected faults mangle actual socket frames.  The
+tests use fixed seeds so any failure reproduces with one command.
+"""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.common.checkpoint import CheckpointPolicy
+from repro.common.faults import FaultPlane
+from repro.harness.nemesis import assert_episode_ok, run_proc_nemesis_episode
+from repro.runtime import (
+    ProcessPSMRCluster,
+    ThreadedPSMRCluster,
+    check_linearizable,
+)
+from repro.runtime.linearizability import HistoryRecorder
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+
+def proc_cluster(mpl=2, replicas=2, initial_keys=16, **kwargs):
+    return ProcessPSMRCluster(
+        service="kvstore",
+        service_args={"initial_keys": initial_keys},
+        mpl=mpl,
+        num_replicas=replicas,
+        barrier_timeout=20.0,
+        **kwargs,
+    )
+
+
+def test_basic_operations_and_convergence():
+    with proc_cluster() as cluster:
+        client = cluster.client()
+        assert client.invoke("read", key=1).error is None
+        assert client.invoke("update", key=1, value=b"new").error is None
+        assert client.invoke("read", key=1).value == b"new"
+        assert client.invoke("read", key=999).error is not None
+        assert client.invoke("insert", key=500, value=b"s").error is None
+        snapshots = cluster.replica_snapshots()
+        assert snapshots[0] == snapshots[1]
+        assert cluster.marker_boundary_violations == 0
+
+
+def test_replica_processes_are_real_and_distinct():
+    with proc_cluster(replicas=2) as cluster:
+        pids = {replica.pid for replica in cluster.replicas}
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+        for pid in pids:
+            os.kill(pid, 0)  # alive (signal 0 = existence probe)
+
+
+def test_sigkill_mid_load_then_restart_from_disk_is_linearizable(tmp_path):
+    """The ISSUE 8 acceptance path: kill -9 a replica mid-load, restart it
+    from its durable store, and require the full oracle — linearizable
+    probe history, converged snapshots, zero marker boundary violations."""
+    policy = CheckpointPolicy(every_messages=200, full_every=2, compact_after=2)
+    cluster = proc_cluster(
+        replicas=3, initial_keys=8, checkpoint_policy=policy,
+        store_dir=str(tmp_path), seed=11,
+    )
+    with cluster:
+        recorder = HistoryRecorder()
+        errors = []
+
+        def probe(client_index):
+            client = cluster.client()
+            rng = random.Random(100 + client_index)
+            try:
+                for step in range(40):
+                    key = rng.randrange(4)
+                    if rng.random() < 0.5:
+                        value = f"c{client_index}s{step}".encode()
+                        recorder.timed_call(
+                            client_index, "update", {"key": key, "value": value},
+                            lambda k=key, v=value: client.invoke(
+                                "update", key=k, value=v, timeout=30
+                            ).error,
+                        )
+                    else:
+                        recorder.timed_call(
+                            client_index, "read", {"key": key},
+                            lambda k=key: _read(client, k),
+                        )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def _read(client, key):
+            response = client.invoke("read", key=key, timeout=30)
+            return response.value if response.error is None else None
+
+        threads = [threading.Thread(target=probe, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+
+        # Persist a durable cut, then kill -9 the replica mid-load.
+        cluster.checkpoint()
+        victim = cluster.crash_replica(1)
+        with pytest.raises(ProcessLookupError):
+            os.kill(victim.pid, 0)  # the kernel really reaped it
+        cluster.restart_replica_from_disk(1)
+
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        cluster.wait_for_quiescence(timeout=30)
+        snapshots = cluster.replica_snapshots(quiesce=False)
+        assert len(snapshots) == 3
+        assert all(s == snapshots[0] for s in snapshots)
+        assert cluster.marker_boundary_violations == 0
+        assert [t["mode"] for t in cluster.recovery_transfers]  # some path ran
+    initial = {key: b"\x00" * 8 for key in range(8)}
+    assert check_linearizable(recorder.operations, initial_state=initial)
+
+
+def test_recover_replica_is_always_a_full_transfer():
+    with proc_cluster(replicas=3) as cluster:
+        client = cluster.client()
+        for step in range(20):
+            client.invoke("update", key=step % 16, value=f"v{step}".encode())
+        cluster.crash_replica(2)
+        cluster.recover_replica(2)
+        assert [t["mode"] for t in cluster.recovery_transfers] == ["full"]
+        snapshots = cluster.replica_snapshots()
+        assert len(snapshots) == 3
+        assert all(s == snapshots[0] for s in snapshots)
+
+
+def test_fault_plane_mangles_real_socket_frames():
+    plane = FaultPlane(seed=5, retransmit_backoff=0.01)
+    plane.set_link(
+        drop=0.1, delay=0.2, delay_range=(0.001, 0.01),
+        duplicate=0.1, reorder=0.1, reorder_window=0.005,
+    )
+    with proc_cluster(replicas=2, fault_plane=plane) as cluster:
+        client = cluster.client()
+        plane.isolate("replica1")
+        for step in range(15):
+            # First response wins: the healthy replica keeps serving.
+            assert client.invoke(
+                "update", key=step % 16, value=f"v{step}".encode(), timeout=30
+            ).error is None
+        plane.heal()
+        for step in range(15):
+            assert client.invoke("read", key=step % 16, timeout=30).error is None
+        cluster.wait_for_quiescence(timeout=30)
+        snapshots = cluster.replica_snapshots(quiesce=False)
+        assert snapshots[0] == snapshots[1]
+        assert cluster.marker_boundary_violations == 0
+    stats = plane.stats
+    assert stats["delayed"] > 0
+    assert stats["retransmits"] > 0 or stats["duplicates"] > 0
+
+
+def _scripted_final_snapshot(cluster):
+    """One deterministic single-client op script; returns the final state."""
+    client = cluster.client()
+    rng = random.Random(7)
+    for step in range(60):
+        key = rng.randrange(16)
+        roll = rng.random()
+        if roll < 0.5:
+            client.invoke("update", key=key, value=f"v{step}".encode())
+        elif roll < 0.8:
+            client.invoke("read", key=key)
+        else:
+            client.invoke("insert", key=1000 + step, value=b"s")
+    snapshots = cluster.replica_snapshots()
+    assert all(s == snapshots[0] for s in snapshots)
+    return snapshots[0]
+
+
+def test_threaded_and_process_runtimes_agree():
+    """Same scripted workload, same final state on both live runtimes."""
+    with ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=16),
+        mpl=2, num_replicas=2, barrier_timeout=20.0,
+    ) as threaded:
+        threaded_state = _scripted_final_snapshot(threaded)
+    with proc_cluster(mpl=2, replicas=2) as proc:
+        proc_state = _scripted_final_snapshot(proc)
+    assert proc_state == threaded_state
+
+
+def test_proc_nemesis_episode_passes_oracle(tmp_path):
+    """A seeded nemesis episode — SIGKILL crashes, socket-level partitions,
+    restart-from-disk — passes the full oracle on the process runtime."""
+    report = run_proc_nemesis_episode(
+        seed=20260808, store_dir=str(tmp_path), steps=4, mean_gap=0.25
+    )
+    assert_episode_ok(report)
+    assert report["runtime"] == "proc"
+    assert report["linearizable"] and report["converged"]
+    assert report["marker_boundary_violations"] == 0

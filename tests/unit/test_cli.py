@@ -10,10 +10,13 @@ from repro import cli
 def test_list_prints_every_experiment():
     stream = io.StringIO()
     assert cli.main(["list"], stream=stream) == 0
-    names = stream.getvalue().split()
+    lines = stream.getvalue().splitlines()
+    names = [line for line in lines if not line.startswith("runtimes:")]
     assert "fig3" in names and "table1" in names and "ablation-merge" in names
     assert "recovery" in names and "checkpoint-scaling" in names
     assert set(names) == set(cli.EXPERIMENTS)
+    # The accepted --runtime values are listed too.
+    assert "runtimes: " + " ".join(cli.RUNTIMES) in lines
 
 
 def test_parser_rejects_unknown_experiment():
@@ -40,14 +43,20 @@ def test_fig4_via_cli_with_tiny_window():
 
 
 def test_every_registered_experiment_has_a_driver():
-    for name, (driver, _takes_timing) in cli.EXPERIMENTS.items():
+    for name, (driver, _takes_timing, _takes_runtime) in cli.EXPERIMENTS.items():
         assert callable(driver), name
 
 
 def test_nemesis_is_registered_with_timing_kwargs():
-    driver, takes_timing = cli.EXPERIMENTS["nemesis"]
+    driver, takes_timing, takes_runtime = cli.EXPERIMENTS["nemesis"]
     assert callable(driver)
     assert takes_timing
+    assert takes_runtime
+
+
+def test_parser_rejects_unknown_runtime():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args(["nemesis", "--runtime", "gpu"])
 
 
 def test_nemesis_via_cli_with_tiny_window():
