@@ -1,0 +1,262 @@
+"""Frontend saturation benchmark (ISSUE 9): the HTTP edge under load.
+
+Drives the full service path — HTTP routing, validation, the in-flight
+limiter, the asyncio bridge, the replicated KV cluster — with the
+closed-loop load rig at increasing client counts and emits
+``BENCH_frontend.json``: a saturation curve (throughput + p50/p99/p999
+tail latency vs concurrency, with 429 retry pressure), plus one
+open-loop (Poisson arrival) record for the arrival-model comparison.
+
+Absolute numbers are machine-dependent; the committed file is judged on
+within-run invariants (every acknowledged request accounted for, the
+curve actually saturating) and on schema, not on rps.  The full run
+sweeps to 1024 concurrent clients (the acceptance floor); ``--smoke``
+shrinks request counts but keeps the shape.
+
+All timing uses ``time.perf_counter()`` — never the wall clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/frontend.py --out BENCH_frontend.json
+    PYTHONPATH=src python benchmarks/frontend.py --smoke --out /tmp/f.json
+    PYTHONPATH=src python benchmarks/frontend.py --smoke --check BENCH_frontend.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.frontend import ClusterBackend, InFlightLimiter, create_app
+from repro.frontend.testing import AsgiClient
+from repro.loadgen import LoadConfig, run_load_sync
+from repro.runtime import ThreadedPSMRCluster
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+SCHEMA_VERSION = 1
+
+#: Closed-loop client counts — the last level is the ≥1k acceptance point.
+CONCURRENCY_LEVELS = (64, 256, 1024)
+
+KEY_SPACE = 2048
+MPL = 4
+REPLICAS = 2
+MAX_IN_FLIGHT = 256
+
+
+def _scale(args):
+    return {
+        "requests_per_client": 3 if args.smoke else 6,
+        "open_clients": 128,
+        "open_rate": 3000.0 if args.smoke else 6000.0,
+        "seed": args.seed,
+    }
+
+
+def _run_level(client, clients, requests_per_client, seed, arrival="closed",
+               open_rate=0.0):
+    config = LoadConfig(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        arrival=arrival,
+        open_rate=open_rate or 1000.0,
+        key_space=KEY_SPACE,
+        read_fraction=0.8,
+        seed=seed + clients,
+    )
+    result = run_load_sync(client, config)
+    record = result.to_record()
+    expected = clients * requests_per_client
+    accounted = record["completed"] + record["dropped"] + record["timeouts_503"]
+    record["expected_requests"] = expected
+    record["unaccounted"] = expected - accounted
+    print(
+        f"{arrival} {clients} clients: {record['throughput_rps']:.0f} rps, "
+        f"p50 {record['latency']['p50'] * 1e3:.2f} ms, "
+        f"p99 {record['latency']['p99'] * 1e3:.2f} ms, "
+        f"p999 {record['latency']['p999'] * 1e3:.2f} ms, "
+        f"429-retries {record['retries_429']}",
+        file=sys.stderr,
+    )
+    return record
+
+
+def run_frontend_benchmark(args):
+    scale = _scale(args)
+    cluster = ThreadedPSMRCluster(
+        spec=KVSTORE_SPEC,
+        service_factory=lambda: KeyValueStoreServer(initial_keys=KEY_SPACE),
+        mpl=MPL,
+        num_replicas=REPLICAS,
+        barrier_timeout=60.0,
+        seed=args.seed,
+    )
+    with cluster:
+        limiter = InFlightLimiter(max_in_flight=MAX_IN_FLIGHT)
+        app = create_app(kv_backend=ClusterBackend(cluster), limiter=limiter)
+        client = AsgiClient(app)
+        # Warmup: touch the key space and JIT-warm the whole path.
+        run_load_sync(client, LoadConfig(
+            clients=32, requests_per_client=4, key_space=KEY_SPACE,
+            seed=args.seed,
+        ))
+        curve = {
+            str(clients): _run_level(
+                client, clients, scale["requests_per_client"], scale["seed"]
+            )
+            for clients in CONCURRENCY_LEVELS
+        }
+        open_loop = _run_level(
+            client, scale["open_clients"], scale["requests_per_client"],
+            scale["seed"], arrival="open", open_rate=scale["open_rate"],
+        )
+        limiter_stats = limiter.stats()
+    low = curve[str(CONCURRENCY_LEVELS[0])]
+    peak_clients = max(
+        curve, key=lambda level: curve[level]["throughput_rps"]
+    )
+    peak = curve[peak_clients]
+    top = curve[str(CONCURRENCY_LEVELS[-1])]
+    saturation = {
+        "peak_clients": int(peak_clients),
+        "peak_throughput_rps": peak["throughput_rps"],
+        "rise_from_low": (
+            peak["throughput_rps"] / low["throughput_rps"]
+            if low["throughput_rps"] > 0 else 0.0
+        ),
+        "top_vs_peak": (
+            top["throughput_rps"] / peak["throughput_rps"]
+            if peak["throughput_rps"] > 0 else 0.0
+        ),
+        "tail_amplification_at_top": (
+            top["latency"]["p999"] / top["latency"]["p50"]
+            if top["latency"]["p50"] > 0 else 0.0
+        ),
+    }
+    return {
+        "version": SCHEMA_VERSION,
+        "config": {
+            "smoke": bool(args.smoke),
+            "seed": args.seed,
+            "concurrency_levels": list(CONCURRENCY_LEVELS),
+            "requests_per_client": scale["requests_per_client"],
+            "max_in_flight": MAX_IN_FLIGHT,
+            "mpl": MPL,
+            "replicas": REPLICAS,
+            "key_space": KEY_SPACE,
+            "runtime": "threaded",
+        },
+        "curve": curve,
+        "open_loop": open_loop,
+        "limiter": limiter_stats,
+        "saturation": saturation,
+    }
+
+
+def validate_schema(document):
+    """Raise ``ValueError`` unless ``document`` has the frontend shape."""
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} must be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    if not isinstance(document, dict):
+        raise ValueError("frontend document must be an object")
+    if document.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported frontend version {document.get('version')!r}"
+        )
+    config = need(document, "config", dict, "$")
+    levels = need(config, "concurrency_levels", list, "config")
+    if len(levels) < 3:
+        raise ValueError("frontend benchmark needs >= 3 concurrency levels")
+    if max(levels) < 1000:
+        raise ValueError("saturation curve must reach >= 1000 clients")
+    curve = need(document, "curve", dict, "$")
+    for level in levels:
+        record = need(curve, str(level), dict, "curve")
+        where = f"curve.{level}"
+        for field in ("throughput_rps", "duration_s"):
+            need(record, field, (int, float), where)
+        for field in ("completed", "retries_429", "dropped", "timeouts_503",
+                      "peak_concurrency", "expected_requests", "unaccounted"):
+            need(record, field, int, where)
+        latency = need(record, "latency", dict, where)
+        for field in ("count", "mean", "p50", "p99", "p999"):
+            need(latency, field, (int, float), f"{where}.latency")
+        if record["unaccounted"] != 0:
+            raise ValueError(f"{where}: {record['unaccounted']} requests lost")
+        if record["peak_concurrency"] > level:
+            raise ValueError(
+                f"{where}: closed-loop concurrency {record['peak_concurrency']} "
+                f"exceeded the client count {level}"
+            )
+    need(document, "open_loop", dict, "$")
+    need(document, "limiter", dict, "$")
+    saturation = need(document, "saturation", dict, "$")
+    for field in ("peak_throughput_rps", "rise_from_low", "top_vs_peak",
+                  "tail_amplification_at_top"):
+        need(saturation, field, (int, float), "saturation")
+    if saturation["peak_throughput_rps"] <= 0:
+        raise ValueError("saturation.peak_throughput_rps must be positive")
+    return document
+
+
+def check_against(document, committed_path, tolerance=0.4):
+    """CI gate on within-run invariants plus the committed file's schema.
+
+    Absolute throughput never crosses machines, so the gate judges a
+    ratio measured within a single run: ``top_vs_peak``, the fraction of
+    peak throughput the edge retains at the highest (oversaturated)
+    client count.  Backpressure exists precisely to keep that fraction
+    high — if the limiter/retry path regresses into congestion collapse,
+    the ratio craters and the gate trips.  (Lost requests and
+    concurrency-bound violations are already hard schema errors.)
+    """
+    with open(committed_path, "r", encoding="utf-8") as handle:
+        committed = validate_schema(json.load(handle))
+    measured = document["saturation"]["top_vs_peak"]
+    reference = committed["saturation"]["top_vs_peak"]
+    floor = reference * tolerance
+    status = "ok" if measured >= floor else "REGRESSED"
+    print(
+        f"gate top_vs_peak: measured x{measured:.2f} vs committed "
+        f"x{reference:.2f} (floor x{floor:.2f}) -> {status}",
+        file=sys.stderr,
+    )
+    if measured < floor:
+        raise SystemExit(
+            "frontend throughput under saturation collapsed: "
+            f"measured x{measured:.2f} < floor x{floor:.2f}"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the benchmark JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced configuration for CI")
+    parser.add_argument("--check", metavar="BENCH",
+                        help="compare against a committed benchmark (CI gate)")
+    parser.add_argument("--seed", type=int, default=20260808)
+    args = parser.parse_args(argv)
+
+    document = validate_schema(run_frontend_benchmark(args))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    if args.check:
+        check_against(document, args.check)
+    return document
+
+
+if __name__ == "__main__":
+    main()

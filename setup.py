@@ -1,9 +1,27 @@
 """Setup shim.
 
-Kept alongside ``pyproject.toml`` so that editable installs work on
-environments without the ``wheel`` package (``pip install -e . --no-use-pep517``).
+Kept as the single packaging entry point so that editable installs work
+on environments without the ``wheel`` package
+(``pip install -e . --no-use-pep517``).
+
+The core runtime is dependency-free by design (stdlib + pydantic).  The
+HTTP frontend runs on the bundled :mod:`repro.frontend.miniapi` shim out
+of the box; installing the ``[frontend]`` extra swaps in the real
+FastAPI/uvicorn stack and lets the tests exercise both paths.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-psmr",
+    version="0.9.0",
+    description="Reproduction of P-SMR (parallel state-machine replication)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["pydantic>=2"],
+    extras_require={
+        "frontend": ["fastapi>=0.110", "httpx>=0.27", "uvicorn>=0.29"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

@@ -21,6 +21,7 @@ import sys
 
 from repro.harness.experiments import (
     run_ablation_batch_size,
+    run_frontend,
     run_ablation_cg_granularity,
     run_ablation_merge_policy,
     run_checkpoint_scaling,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "delta-checkpoint": (run_delta_checkpoint, True, False),
     "durable-recovery": (run_durable_recovery, True, False),
     "nemesis": (run_nemesis, True, True),
+    "frontend": (run_frontend, True, True),
     "ablation-merge": (run_ablation_merge_policy, True, False),
     "ablation-cg": (run_ablation_cg_granularity, True, False),
     "ablation-batch": (run_ablation_batch_size, True, False),

@@ -1,0 +1,18 @@
+"""Client-facing HTTP frontend over the replicated services (ROADMAP item 2).
+
+``create_app`` builds the (FastAPI-or-shim) ASGI app over
+:class:`ClusterBackend` bridges; ``limits``/``server``/``testing``
+provide backpressure, sockets, and in-process clients.
+"""
+
+from repro.frontend.app import create_app
+from repro.frontend.backend import BackendTimeout, ClusterBackend
+from repro.frontend.limits import InFlightLimiter, Saturated
+
+__all__ = [
+    "BackendTimeout",
+    "ClusterBackend",
+    "InFlightLimiter",
+    "Saturated",
+    "create_app",
+]

@@ -1,0 +1,379 @@
+"""The client-facing HTTP frontend over the replicated services.
+
+Endpoints (all JSON):
+
+* ``GET/PUT/DELETE /kv/{key}`` — single-key operations on the replicated
+  :class:`~repro.services.kvstore.KeyValueStoreServer`.  ``PUT`` takes a
+  :class:`~repro.frontend.models.PutValueRequest` whose ``mode`` selects
+  ``insert`` (409 when the key exists), ``update`` (404 when it does
+  not), or ``upsert``.
+* ``POST /kv/batch`` — up to 1024 operations submitted concurrently, so
+  one HTTP request fills the replicas' delivery batches.
+* ``/fs/file/{path}``, ``/fs/dir/{path}``, ``/fs/stat/{path}`` — NetFS
+  file, directory and metadata operations.
+* ``GET /healthz`` — replica liveness; ``GET /stats`` — backend and
+  limiter counters.
+
+Backpressure semantics: every data-plane request must win an in-flight
+slot from the :class:`~repro.frontend.limits.InFlightLimiter` before it
+touches the cluster; a full window is ``429`` with a ``Retry-After``
+header, and a backend timeout is ``503`` (the command may still apply —
+the client must treat it as indeterminate, exactly like a lost TCP ack).
+
+The app is coded to the FastAPI subset provided by both the real
+``fastapi`` package (installed via the ``[frontend]`` extra) and the
+dependency-free :mod:`repro.frontend.miniapi` shim; set
+``REPRO_FRONTEND_FORCE_MINIAPI=1`` to force the shim even when fastapi
+is importable (CI exercises both paths when available).
+"""
+
+import asyncio
+import itertools
+import os
+
+from repro.frontend.backend import BackendTimeout
+from repro.frontend.limits import InFlightLimiter, Saturated
+from repro.frontend.models import (
+    BatchOpResult,
+    BatchRequest,
+    BatchResponse,
+    FileWriteRequest,
+    HealthResponse,
+    PutValueRequest,
+    ValueResponse,
+    WriteResponse,
+    decode_value,
+    encode_value,
+)
+
+if os.environ.get("REPRO_FRONTEND_FORCE_MINIAPI"):
+    _HAVE_FASTAPI = False
+else:
+    try:  # pragma: no cover - exercised only when fastapi is installed
+        from fastapi import FastAPI, HTTPException
+
+        _HAVE_FASTAPI = True
+    except ImportError:
+        _HAVE_FASTAPI = False
+if not _HAVE_FASTAPI:
+    from repro.frontend.miniapi import FastAPI, HTTPException
+
+#: KV error strings produced by ``KeyValueStoreServer.apply``.
+_ERR_NOT_FOUND = "err=1"
+_ERR_EXISTS = "err=2"
+
+
+def _not_found(what):
+    return HTTPException(status_code=404, detail=f"{what} not found")
+
+
+def _bad_payload(name, message, value):
+    return HTTPException(
+        status_code=422,
+        detail=[
+            {
+                "type": "value_error",
+                "loc": ["body", name],
+                "msg": message,
+                "input": value,
+            }
+        ],
+    )
+
+
+def create_app(kv_backend=None, fs_backend=None, limiter=None,
+               request_timeout=10.0):
+    """Build the frontend app over already-running clusters.
+
+    ``kv_backend`` / ``fs_backend`` are :class:`ClusterBackend` bridges
+    (either may be omitted; its routes then answer 503).  The caller
+    owns the clusters' lifecycles — the app never shuts them down.
+    """
+    if limiter is None:
+        limiter = InFlightLimiter()
+    app = FastAPI(title="repro-psmr-frontend", version="1")
+    # Exposed for tests and the stats endpoint (both stacks allow
+    # attribute assignment on the app object).
+    app.kv_backend = kv_backend
+    app.fs_backend = fs_backend
+    app.limiter = limiter
+    # Deterministic logical clock for NetFS ``now`` args: replicas all
+    # execute the same multicast args, so any frontend-chosen value is
+    # consistent — a counter keeps test runs reproducible.
+    ticks = itertools.count(1)
+
+    def _admit():
+        try:
+            limiter.acquire()
+        except Saturated as exc:
+            raise HTTPException(
+                status_code=429,
+                detail="in-flight window full",
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            ) from None
+
+    async def _submit(backend, name, **args):
+        if backend is None:
+            raise HTTPException(status_code=503, detail="service not configured")
+        try:
+            return await backend.submit(name, timeout=request_timeout, **args)
+        except BackendTimeout:
+            raise HTTPException(
+                status_code=503,
+                detail="backend timed out; the operation may still apply",
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    @app.get("/healthz")
+    async def healthz() -> HealthResponse:
+        backend = kv_backend if kv_backend is not None else fs_backend
+        if backend is None:
+            raise HTTPException(status_code=503, detail="no backend configured")
+        return HealthResponse(**backend.health())
+
+    @app.get("/stats")
+    async def stats():
+        payload = {"limiter": limiter.stats()}
+        if kv_backend is not None:
+            payload["kv"] = kv_backend.stats()
+        if fs_backend is not None:
+            payload["fs"] = fs_backend.stats()
+        return payload
+
+    # ------------------------------------------------------------------
+    # KV data plane
+    # ------------------------------------------------------------------
+    async def _kv_write_once(name, key, value):
+        """One replicated write command; returns the error string or None."""
+        if name == "delete":
+            response = await _submit(kv_backend, "delete", key=key)
+        else:
+            response = await _submit(kv_backend, name, key=key, value=value)
+        return response.error
+
+    async def _kv_apply_mode(key, value, mode):
+        """Run the selected write mode; return the ``applied`` label."""
+        if mode == "insert":
+            error = await _kv_write_once("insert", key, value)
+            if error == _ERR_EXISTS:
+                raise HTTPException(status_code=409, detail="key exists")
+            return "insert"
+        if mode == "update":
+            error = await _kv_write_once("update", key, value)
+            if error == _ERR_NOT_FOUND:
+                raise _not_found("key")
+            return "update"
+        # upsert: update, fall back to insert, then once more to update —
+        # bounded against concurrent deleters/inserters racing the key.
+        for attempt in ("update", "insert", "update"):
+            error = await _kv_write_once(attempt, key, value)
+            if error is None:
+                return attempt
+        raise HTTPException(status_code=503, detail="upsert lost repeated races")
+
+    @app.get("/kv/{key}")
+    async def kv_read(key: int) -> ValueResponse:
+        _admit()
+        try:
+            response = await _submit(kv_backend, "read", key=key)
+        finally:
+            limiter.release()
+        if response.error == _ERR_NOT_FOUND:
+            raise _not_found("key")
+        text, encoding = decode_value(response.value)
+        return ValueResponse(key=key, value=text, encoding=encoding)
+
+    @app.put("/kv/{key}")
+    async def kv_put(key: int, body: PutValueRequest) -> WriteResponse:
+        try:
+            value = encode_value(body.value, body.encoding)
+        except ValueError as exc:
+            raise _bad_payload("value", str(exc), body.value) from None
+        _admit()
+        try:
+            applied = await _kv_apply_mode(key, value, body.mode)
+        finally:
+            limiter.release()
+        return WriteResponse(key=key, applied=applied)
+
+    @app.delete("/kv/{key}")
+    async def kv_delete(key: int) -> WriteResponse:
+        _admit()
+        try:
+            error = await _kv_write_once("delete", key, None)
+        finally:
+            limiter.release()
+        if error == _ERR_NOT_FOUND:
+            raise _not_found("key")
+        return WriteResponse(key=key, applied="delete")
+
+    async def _batch_one(op):
+        if op.op == "read":
+            response = await _submit(kv_backend, "read", key=op.key)
+            if response.error is not None:
+                return BatchOpResult(
+                    op=op.op, key=op.key, ok=False, error="not_found"
+                )
+            text, encoding = decode_value(response.value)
+            return BatchOpResult(
+                op=op.op, key=op.key, ok=True, value=text, encoding=encoding
+            )
+        if op.op == "delete":
+            error = await _kv_write_once("delete", op.key, None)
+        else:
+            if op.value is None:
+                return BatchOpResult(
+                    op=op.op, key=op.key, ok=False, error="value required"
+                )
+            try:
+                value = encode_value(op.value, op.encoding)
+            except ValueError as exc:
+                return BatchOpResult(op=op.op, key=op.key, ok=False, error=str(exc))
+            error = await _kv_write_once(op.op, op.key, value)
+        if error == _ERR_NOT_FOUND:
+            return BatchOpResult(op=op.op, key=op.key, ok=False, error="not_found")
+        if error == _ERR_EXISTS:
+            return BatchOpResult(op=op.op, key=op.key, ok=False, error="exists")
+        return BatchOpResult(op=op.op, key=op.key, ok=error is None, error=error)
+
+    @app.post("/kv/batch")
+    async def kv_batch(body: BatchRequest) -> BatchResponse:
+        _admit()
+        try:
+            # Submitting all ops before awaiting any is the whole point:
+            # the pipelined commands land in the replicas' delivery
+            # batches together.
+            results = await asyncio.gather(*(_batch_one(op) for op in body.ops))
+        finally:
+            limiter.release()
+        return BatchResponse(results=list(results))
+
+    # ------------------------------------------------------------------
+    # NetFS data plane
+    # ------------------------------------------------------------------
+    def _fs_path(path):
+        return path if path.startswith("/") else "/" + path
+
+    def _fs_error(response, path):
+        if response.error is None:
+            return
+        if response.error == "ENOENT":
+            raise _not_found(f"path {path!r}")
+        if response.error == "EEXIST":
+            raise HTTPException(status_code=409, detail=f"path {path!r} exists")
+        raise HTTPException(status_code=409, detail=response.error)
+
+    @app.get("/fs/file/{path:path}")
+    async def fs_read(path: str, size: int = 1 << 20, offset: int = 0):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(
+                fs_backend, "read", path=full, size=size, offset=offset,
+                now=float(next(ticks)),
+            )
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        text, encoding = decode_value(response.value)
+        return {"path": full, "data": text or "", "encoding": encoding or "utf8"}
+
+    @app.put("/fs/file/{path:path}")
+    async def fs_write(path: str, body: FileWriteRequest):
+        full = _fs_path(path)
+        try:
+            data = encode_value(body.data, body.encoding)
+        except ValueError as exc:
+            raise _bad_payload("data", str(exc), body.data) from None
+        _admit()
+        try:
+            if body.create:
+                created = await _submit(
+                    fs_backend, "create", path=full, now=float(next(ticks))
+                )
+                if created.error not in (None, "EEXIST"):
+                    _fs_error(created, full)
+            response = await _submit(
+                fs_backend, "write", path=full, data=data,
+                offset=body.offset, now=float(next(ticks)),
+            )
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        return {"path": full, "written": response.value}
+
+    @app.delete("/fs/file/{path:path}")
+    async def fs_unlink(path: str):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(
+                fs_backend, "unlink", path=full, now=float(next(ticks))
+            )
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        return {"path": full, "removed": True}
+
+    @app.get("/fs/dir/{path:path}")
+    async def fs_readdir(path: str):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(fs_backend, "readdir", path=full)
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        return {"path": full, "entries": sorted(response.value)}
+
+    @app.post("/fs/dir/{path:path}", status_code=201)
+    async def fs_mkdir(path: str):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(
+                fs_backend, "mkdir", path=full, now=float(next(ticks))
+            )
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        return {"path": full, "created": True}
+
+    @app.delete("/fs/dir/{path:path}")
+    async def fs_rmdir(path: str):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(
+                fs_backend, "rmdir", path=full, now=float(next(ticks))
+            )
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        return {"path": full, "removed": True}
+
+    @app.get("/fs/stat/{path:path}")
+    async def fs_stat(path: str):
+        full = _fs_path(path)
+        _admit()
+        try:
+            response = await _submit(fs_backend, "lstat", path=full)
+        finally:
+            limiter.release()
+        _fs_error(response, full)
+        stat = response.value
+        return {
+            "path": full,
+            "stat": {
+                "is_dir": stat.is_dir,
+                "size": stat.size,
+                "mode": stat.mode,
+                "nlink": stat.nlink,
+                "atime": stat.atime,
+                "mtime": stat.mtime,
+            },
+        }
+
+    return app

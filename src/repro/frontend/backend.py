@@ -1,0 +1,129 @@
+"""Asyncio bridge from HTTP handlers onto the cluster's pipelined path.
+
+The clusters are thread-world: ``invoke_async`` returns a
+:class:`~repro.runtime.cluster.PendingInvocation` whose response is
+delivered on a replica worker thread.  HTTP handlers are asyncio-world.
+:class:`ClusterBackend` connects the two without a thread-per-request:
+
+* each event loop gets its own ``cluster.client()`` (clients carry a
+  private uid sequence, so they must not be shared across loops);
+* ``submit()`` creates an asyncio future, submits via ``invoke_async``,
+  and attaches a done-callback that trampolines the response onto the
+  loop with ``call_soon_threadsafe``;
+* a timeout ``discard()``s the invocation so the late response is
+  dropped at the router — an abandoned HTTP request cannot leak a
+  waiter or resolve a dead future.
+
+Works identically against ``ThreadedPSMRCluster`` and
+``ProcessPSMRCluster``: both inherit the ``ResponseRouter`` waiter
+surface and both hand out ``ThreadedClient`` proxies.
+"""
+
+import asyncio
+import threading
+
+
+class BackendTimeout(Exception):
+    """The cluster did not respond within the per-request budget.
+
+    The command may still execute (it was already multicast), so the
+    HTTP layer must report this as *indeterminate* (503), never as a
+    clean failure.
+    """
+
+    def __init__(self, name, timeout):
+        super().__init__(f"{name!r} timed out after {timeout:.3f}s")
+        self.name = name
+        self.timeout = timeout
+
+
+class ClusterBackend:
+    """Per-worker submission bridge over one cluster.
+
+    One instance serves every handler coroutine of an app; it is safe to
+    share across event loops (each loop lazily gets its own client).
+    """
+
+    def __init__(self, cluster, default_timeout=10.0):
+        self.cluster = cluster
+        self.default_timeout = default_timeout
+        self._clients = {}
+        self._clients_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.timed_out = 0
+
+    # ------------------------------------------------------------------
+    def _client_for_loop(self, loop):
+        key = id(loop)
+        with self._clients_lock:
+            client = self._clients.get(key)
+            if client is None:
+                client = self.cluster.client()
+                self._clients[key] = client
+            return client
+
+    async def submit(self, name, timeout=None, **args):
+        """Invoke ``name(**args)`` on the cluster; await the first response.
+
+        Raises :class:`BackendTimeout` when no replica answers in time —
+        after discarding the invocation, so nothing leaks.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        loop = asyncio.get_running_loop()
+        client = self._client_for_loop(loop)
+        future = loop.create_future()
+
+        def resolve(response):
+            if not future.done():
+                future.set_result(response)
+
+        def on_response(response):
+            # Runs on a replica worker thread (or synchronously, if the
+            # response already landed).  The loop may be gone when the
+            # app is shutting down — then the response just drops.
+            try:
+                loop.call_soon_threadsafe(resolve, response)
+            except RuntimeError:
+                pass
+
+        with self._stats_lock:
+            self.submitted += 1
+        pending = client.invoke_async(name, **args)
+        pending.add_done_callback(on_response)
+        try:
+            response = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            pending.discard()
+            with self._stats_lock:
+                self.timed_out += 1
+            raise BackendTimeout(name, timeout) from None
+        with self._stats_lock:
+            self.completed += 1
+        return response
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self):
+        """``"threaded"`` or ``"process"`` — surfaced in ``/healthz``."""
+        return "process" if "Process" in type(self.cluster).__name__ else "threaded"
+
+    def health(self):
+        live = self.cluster.live_replicas()
+        total = getattr(self.cluster, "num_replicas", len(live))
+        return {
+            "status": "ok" if len(live) == total else "degraded",
+            "runtime": self.runtime,
+            "live_replicas": len(live),
+            "num_replicas": total,
+        }
+
+    def stats(self):
+        with self._stats_lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "timed_out": self.timed_out,
+            }

@@ -1,0 +1,84 @@
+"""Explicit backpressure for the HTTP edge.
+
+The cluster pipelines arbitrarily deep, so without admission control a
+load spike just converts into unbounded queueing and tail-latency
+collapse.  :class:`InFlightLimiter` is a non-queueing admission gate: a
+request either takes one of ``max_in_flight`` slots immediately or is
+rejected with :class:`Saturated` — the app maps that to
+``429 Too Many Requests`` with a ``Retry-After`` hint and the client
+retries.  Rejecting instead of queueing keeps the window honest: every
+admitted request is actually in flight against the cluster.
+"""
+
+import threading
+
+
+class Saturated(Exception):
+    """No in-flight slot available; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after, in_flight):
+        super().__init__(f"saturated at {in_flight} in-flight requests")
+        self.retry_after = retry_after
+        self.in_flight = in_flight
+
+
+class InFlightLimiter:
+    """Bounded in-flight window with admit/reject counters.
+
+    Thread-safe (the process cluster's responses arrive off-loop) and
+    usable as an async context manager::
+
+        async with limiter:       # raises Saturated when full
+            await backend.submit(...)
+    """
+
+    def __init__(self, max_in_flight=256, retry_after=0.05):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = max_in_flight
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_in_flight = 0
+
+    def acquire(self):
+        """Take a slot or raise :class:`Saturated`; never blocks."""
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                self.rejected += 1
+                raise Saturated(self.retry_after, self._in_flight)
+            self._in_flight += 1
+            self.admitted += 1
+            if self._in_flight > self.peak_in_flight:
+                self.peak_in_flight = self._in_flight
+            return self._in_flight
+
+    def release(self):
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._in_flight -= 1
+
+    async def __aenter__(self):
+        return self.acquire()
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    @property
+    def in_flight(self):
+        with self._lock:
+            return self._in_flight
+
+    def stats(self):
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }

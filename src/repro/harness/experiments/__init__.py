@@ -15,6 +15,7 @@ from repro.harness.experiments.recovery import run_checkpoint_scaling, run_recov
 from repro.harness.experiments.delta import run_delta_checkpoint
 from repro.harness.experiments.durable import run_durable_recovery
 from repro.harness.experiments.nemesis import run_nemesis
+from repro.harness.experiments.frontend import run_frontend
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -34,6 +35,7 @@ __all__ = [
     "run_delta_checkpoint",
     "run_durable_recovery",
     "run_nemesis",
+    "run_frontend",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

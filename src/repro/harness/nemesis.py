@@ -564,6 +564,282 @@ def run_sim_nemesis_episode(
 
 
 # ----------------------------------------------------------------------
+# Frontend episode: the HTTP edge as the probing client
+# ----------------------------------------------------------------------
+
+#: Op kinds for the frontend episode (no durable store: plain recovery).
+FRONTEND_KINDS = ("partition", "heal", "crash", "recover", "checkpoint")
+
+
+def run_frontend_nemesis_episode(
+    seed,
+    num_replicas=3,
+    mpl=3,
+    steps=6,
+    mean_gap=0.08,
+    kinds=FRONTEND_KINDS,
+    probe_clients=2,
+    probe_ops=12,
+    probe_keys=(900, 901),
+    load_keys=48,
+    background_tasks=2,
+    request_timeout=15.0,
+    quiesce_timeout=30.0,
+    max_in_flight=64,
+):
+    """One seeded nemesis episode probed through the HTTP frontend.
+
+    Same fault plan and oracle as the threaded episode, but every probe
+    is an HTTP request through the full edge (routing, validation,
+    limiter, asyncio bridge).  The HTTP status codes carry the
+    linearizability bookkeeping:
+
+    * ``200``/``404``/``409`` map onto the KV model results;
+    * ``429`` means the limiter rejected the request *before* submission
+      — the attempt is retried and never enters the history;
+    * ``503`` (backend timeout) is *possibly applied* — recorded as a
+      pending operation, exactly like a lost ack;
+    * anything else (500s, wrong data shapes) is a hard failure: faults
+      must surface as latency or 503, never as wrong answers.
+    """
+    import asyncio
+
+    from repro.frontend import ClusterBackend, InFlightLimiter, create_app
+    from repro.frontend.models import encode_value
+    from repro.frontend.testing import AsgiClient
+
+    plane = FaultPlane(seed=derive_seed(seed, "plane"), retransmit_backoff=0.005)
+    profile = link_profile_from_seed(seed)
+    plane.set_link(**profile)
+    nemesis = Nemesis(
+        seed, num_replicas, steps=steps, mean_gap=mean_gap, kinds=tuple(kinds)
+    )
+    cluster = ThreadedPSMRCluster(
+        KVSTORE_SPEC,
+        lambda: KeyValueStoreServer(initial_keys=load_keys),
+        mpl=mpl,
+        num_replicas=num_replicas,
+        barrier_timeout=15.0,
+        seed=seed,
+        fault_plane=plane,
+    )
+    recorder = HistoryRecorder()
+    report = {
+        "runtime": "frontend",
+        "seed": seed,
+        "link_profile": dict(profile, delay_range=list(profile["delay_range"])),
+        "plan": [op.describe() for op in nemesis.plan],
+        "applied": [],
+        "failures": [],
+        "probe_errors": [],
+        "bad_statuses": [],
+        "status_counts": {},
+        "retries_429": 0,
+        "recovery_s": [],
+    }
+    status_lock = threading.Lock()
+    stop = threading.Event()
+    started_at = time.monotonic()
+
+    def _count(status):
+        with status_lock:
+            report["status_counts"][status] = (
+                report["status_counts"].get(status, 0) + 1
+            )
+
+    async def _probe_client(http, index, pace):
+        rng = random.Random(derive_seed(seed, "httpprobe", index))
+        client_id = 1000 + index
+        for op_index in range(probe_ops):
+            key = probe_keys[(index + op_index) % len(probe_keys)]
+            name = rng.choice(("insert", "read", "update", "read", "delete", "read"))
+            text = f"hp{index}-{op_index}"
+            args = {"key": key}
+            if name in ("insert", "update"):
+                args["value"] = text.encode()
+            while True:
+                invoked_at = time.monotonic()
+                try:
+                    if name == "read":
+                        resp = await http.get(f"/kv/{key}")
+                    elif name == "delete":
+                        resp = await http.delete(f"/kv/{key}")
+                    else:
+                        # insert/update are single replicated commands —
+                        # the modes the linearizability model understands.
+                        resp = await http.put(
+                            f"/kv/{key}", json={"value": text, "mode": name}
+                        )
+                except Exception as exc:  # transport failure: possibly applied
+                    recorder.record_pending(client_id, name, args, invoked_at)
+                    report["probe_errors"].append(f"{name} key={key}: {exc!r}")
+                    break
+                _count(resp.status_code)
+                if resp.status_code == 429:
+                    # Rejected before submission: not part of the history.
+                    with status_lock:
+                        report["retries_429"] += 1
+                    retry_after = float(resp.headers.get("retry-after", 0.01))
+                    await asyncio.sleep(retry_after)
+                    continue
+                if resp.status_code == 503:
+                    recorder.record_pending(client_id, name, args, invoked_at)
+                    break
+                returned_at = time.monotonic()
+                result = None
+                if name == "read":
+                    if resp.status_code == 200:
+                        payload = resp.json()
+                        result = encode_value(payload["value"], payload["encoding"])
+                    elif resp.status_code != 404:
+                        report["bad_statuses"].append(
+                            f"read key={key} -> {resp.status_code}"
+                        )
+                        break
+                else:
+                    if resp.status_code == 404:
+                        result = "err=1"
+                    elif resp.status_code == 409:
+                        result = "err=2"
+                    elif resp.status_code != 200:
+                        report["bad_statuses"].append(
+                            f"{name} key={key} -> {resp.status_code}"
+                        )
+                        break
+                recorder.record(client_id, name, args, result, invoked_at, returned_at)
+                break
+            await asyncio.sleep(rng.uniform(0.2, 1.0) * pace)
+
+    async def _background_load(http, index):
+        """Unrecorded HTTP traffic over the bulk key space."""
+        rng = random.Random(derive_seed(seed, "httpload", index))
+        while not stop.is_set():
+            key = rng.randrange(load_keys)
+            try:
+                if rng.random() < 0.5:
+                    resp = await http.get(f"/kv/{key}")
+                else:
+                    resp = await http.put(
+                        f"/kv/{key}",
+                        json={"value": f"bg{index}-{key}", "mode": "upsert"},
+                    )
+                _count(resp.status_code)
+            except Exception as exc:
+                report["probe_errors"].append(f"background: {exc!r}")
+            await asyncio.sleep(rng.uniform(0.001, 0.01))
+
+    def _probe_thread(app):
+        async def _main():
+            http = AsgiClient(app)
+            pace = (steps * mean_gap) / max(1, probe_ops)
+            background = [
+                asyncio.create_task(_background_load(http, index))
+                for index in range(background_tasks)
+            ]
+            await asyncio.gather(
+                *(_probe_client(http, index, pace) for index in range(probe_clients))
+            )
+            stop.set()
+            await asyncio.gather(*background, return_exceptions=True)
+
+        asyncio.run(_main())
+
+    try:
+        with cluster:
+            app = create_app(
+                kv_backend=ClusterBackend(cluster),
+                limiter=InFlightLimiter(max_in_flight=max_in_flight),
+                request_timeout=request_timeout,
+            )
+            probes = threading.Thread(
+                target=_probe_thread, args=(app,), name="frontend-probes",
+                daemon=True,
+            )
+            probes.start()
+            for op in nemesis.plan:
+                delay = started_at + op.at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                status, detail = "ok", ""
+                op_started = time.monotonic()
+                try:
+                    if op.kind == "partition":
+                        plane.isolate(f"replica{op.target}")
+                    elif op.kind == "heal":
+                        plane.heal()
+                    elif op.kind == "crash":
+                        cluster.crash_replica(op.target)
+                    elif op.kind == "recover":
+                        cluster.recover_replica(op.target)
+                        report["recovery_s"].append(time.monotonic() - op_started)
+                    elif op.kind == "checkpoint":
+                        cluster.periodic_checkpoint(timeout=10.0)
+                except (RecoveryError, TimeoutError) as exc:
+                    status, detail = "skipped", f"{type(exc).__name__}: {exc}"
+                report["applied"].append(
+                    {"op": op.describe(), "status": status, "detail": detail}
+                )
+            probes.join(timeout=quiesce_timeout)
+            stop.set()
+            # Final phase: heal, recover everyone, drain, check the oracle.
+            plane.heal()
+            for replica in cluster.replicas:
+                if not replica.crashed:
+                    continue
+                op_started = time.monotonic()
+                cluster.recover_replica(replica.replica_id)
+                report["recovery_s"].append(time.monotonic() - op_started)
+            cluster.wait_for_quiescence(timeout=quiesce_timeout)
+            report["drained"] = cluster.multicast.pending_count() == 0
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            report["converged"] = all(s == snapshots[0] for s in snapshots)
+            report["live_replicas"] = len(snapshots)
+            report["marker_boundary_violations"] = cluster.marker_boundary_violations
+            try:
+                check_kv_history(recorder.operations, initial_state={})
+                report["linearizable"] = True
+            except LinearizabilityViolation as violation:
+                report["linearizable"] = False
+                report["failures"].append(f"linearizability: {violation}")
+    finally:
+        stop.set()
+        report["elapsed_s"] = time.monotonic() - started_at
+        report["plane_stats"] = dict(plane.stats)
+        report["schedule_digest"] = _digest(plane)
+        report["history"] = [
+            {
+                "client": op.client_id,
+                "name": op.name,
+                "args": {k: repr(v) for k, v in op.args.items()},
+                "result": repr(op.result),
+                "invoked_at": op.invoked_at,
+                "returned_at": op.returned_at,
+            }
+            for op in recorder.operations
+        ]
+        report["probe_operations"] = len(recorder.operations)
+    if not report.get("drained", False):
+        report["failures"].append("multicast did not drain")
+    if not report.get("converged", False):
+        report["failures"].append("replica states diverged")
+    if report.get("live_replicas") != num_replicas:
+        report["failures"].append("not every replica was live at the end")
+    if report.get("marker_boundary_violations", 1) != 0:
+        report["failures"].append("marker boundary violations observed")
+    if report["bad_statuses"]:
+        report["failures"].append(
+            "unexpected HTTP statuses (faults must surface as latency or "
+            "503, never wrong answers): " + "; ".join(report["bad_statuses"])
+        )
+    if report["probe_errors"]:
+        report["failures"].append(
+            f"{len(report['probe_errors'])} probe transport errors"
+        )
+    report["ok"] = not report["failures"]
+    return report
+
+
+# ----------------------------------------------------------------------
 # Oracle assertion with seed-printing artifact
 # ----------------------------------------------------------------------
 

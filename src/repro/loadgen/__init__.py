@@ -1,0 +1,19 @@
+"""Closed/open-loop load generation for the HTTP frontend (ROADMAP item 2)."""
+
+from repro.loadgen.runner import (
+    LoadConfig,
+    LoadResult,
+    generate_client_ops,
+    open_arrival_times,
+    run_load,
+    run_load_sync,
+)
+
+__all__ = [
+    "LoadConfig",
+    "LoadResult",
+    "generate_client_ops",
+    "open_arrival_times",
+    "run_load",
+    "run_load_sync",
+]

@@ -50,13 +50,18 @@ class LatencyRecorder:
         """99th-percentile latency (seconds)."""
         return self.percentile(0.99)
 
+    def p999(self):
+        """99.9th-percentile latency (seconds) — the HTTP edge's tail metric."""
+        return self.percentile(0.999)
+
     def summary(self):
-        """``{count, mean, p50, p99}`` — the benchmark runner's record shape."""
+        """``{count, mean, p50, p99, p999}`` — the benchmark runner's record shape."""
         return {
             "count": len(self._samples),
             "mean": self.mean(),
             "p50": self.p50(),
             "p99": self.p99(),
+            "p999": self.p999(),
         }
 
     def cdf(self, points=50):

@@ -411,7 +411,19 @@ class _Replica:
 
 
 class PendingInvocation:
-    """Handle for an in-flight pipelined invocation (see ``invoke_async``)."""
+    """Handle for an in-flight pipelined invocation (see ``invoke_async``).
+
+    Exactly one consumer should collect each invocation, through one of:
+
+    * :meth:`result` — block until the first replica responds;
+    * :meth:`add_done_callback` — be called (possibly immediately, possibly
+      from a replica worker thread) when the response lands; this is the
+      hook the asyncio HTTP frontend bridges onto its event loop;
+    * :meth:`discard` — abandon the invocation.  Abandoning is what a
+      timed-out HTTP request does: it drops the waiter registration (and
+      any response that already landed) so the late response is thrown
+      away at the router instead of leaking into a dead future.
+    """
 
     __slots__ = ("cluster", "uid", "name")
 
@@ -423,6 +435,29 @@ class PendingInvocation:
     def result(self, timeout=10.0):
         """Block until the first replica responds; return the response."""
         return self.cluster._await_response(self.uid, self.name, timeout)
+
+    def add_done_callback(self, callback):
+        """Invoke ``callback(response)`` when the first response lands.
+
+        If the response already arrived, ``callback`` runs synchronously
+        before this returns; otherwise it runs on whichever replica worker
+        thread delivers the response — callbacks must be cheap and
+        thread-safe (the frontend's bridge just trampolines onto its event
+        loop).  Returns ``False`` when the invocation was already
+        collected or discarded, in which case ``callback`` never runs.
+        """
+        return self.cluster._set_waiter_callback(self.uid, callback)
+
+    def discard(self):
+        """Abandon the invocation: no response will ever be delivered.
+
+        Idempotent.  After this returns no new callback can fire and a
+        late response is dropped by the router; a callback that a worker
+        thread already claimed (popped under the router lock) may still
+        complete concurrently — consumers guard with their own
+        ``future.done()`` check.
+        """
+        self.cluster._discard_waiter(self.uid)
 
 
 class ThreadedClient:
@@ -449,7 +484,14 @@ class ThreadedClient:
         gamma = self.cluster.cg.groups_for(name, args)
         command.destinations = gamma
         self.cluster._register_waiter(command.uid)
-        self.cluster.multicast.multicast(gamma, command)
+        try:
+            self.cluster.multicast.multicast(gamma, command)
+        except BaseException:
+            # A failed submit must not leak its waiter registration: the
+            # command was never sequenced, so no response will ever come
+            # to collect it.
+            self.cluster._discard_waiter(command.uid)
+            raise
         return PendingInvocation(self.cluster, command.uid, name)
 
     def invoke(self, name, timeout=10.0, **args):
@@ -466,6 +508,11 @@ class ResponseRouter:
     dropped.  Requires ``self._lock`` (a ``threading.Lock``) plus the
     ``self._waiters`` / ``self._responses`` dicts, and a
     ``marker_boundary_violations`` counter attribute.
+
+    A waiter slot holds one of three values: ``None`` (registered, nobody
+    collecting yet), a ``threading.Event`` (a blocked :meth:`result`
+    caller), or a callable (an ``add_done_callback`` consumer — invoked
+    with the response, outside the lock, by whichever thread delivers it).
     """
 
     def _register_waiter(self, uid):
@@ -481,6 +528,27 @@ class ResponseRouter:
         with self._lock:
             self._waiters.pop(uid, None)
             self._responses.pop(uid, None)
+
+    def _set_waiter_callback(self, uid, callback):
+        """Attach ``callback`` as the invocation's consumer.
+
+        Returns ``True`` when the callback was attached (or, if the
+        response already landed, invoked immediately with it) and
+        ``False`` when the invocation is unknown — already collected,
+        discarded, or never registered — in which case the callback will
+        never run.
+        """
+        with self._lock:
+            if uid in self._responses:
+                response = self._responses.pop(uid)
+                self._waiters.pop(uid, None)
+            elif uid in self._waiters:
+                self._waiters[uid] = callback
+                return True
+            else:
+                return False
+        callback(response)
+        return True
 
     def _await_response(self, uid, name, timeout):
         with self._lock:
@@ -505,26 +573,42 @@ class ResponseRouter:
                 # Duplicate replies, replies after a client timed out, and
                 # replies re-executed during recovery replay are dropped.
                 return
-            self._responses[uid] = response
             waiter = self._waiters[uid]
-        if waiter is not None:
+            if callable(waiter):
+                # Callback consumer: hand the response over directly (the
+                # registration is dropped, nothing is stored) so a marker
+                # retained in the log cannot pin it and duplicates hit the
+                # "uid not in waiters" drop above.
+                del self._waiters[uid]
+            else:
+                self._responses[uid] = response
+        if callable(waiter):
+            waiter(response)
+        elif waiter is not None:
             waiter.set()
 
     def _respond_many(self, responses):
         """Deliver a batch of ``(uid, response)`` pairs in one lock round-trip."""
         to_wake = []
+        to_call = []
         with self._lock:
             waiters = self._waiters
             stored = self._responses
             for uid, response in responses:
                 if uid not in waiters or uid in stored:
                     continue  # same duplicate/timeout policy as _respond
-                stored[uid] = response
                 waiter = waiters[uid]
+                if callable(waiter):
+                    del waiters[uid]
+                    to_call.append((waiter, response))
+                    continue
+                stored[uid] = response
                 if waiter is not None:
                     to_wake.append(waiter)
         for waiter in to_wake:
             waiter.set()
+        for callback, response in to_call:
+            callback(response)
 
     def _record_boundary_violation(self):
         with self._lock:

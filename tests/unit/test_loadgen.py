@@ -1,0 +1,205 @@
+"""Unit tests for the closed/open-loop load generator (ISSUE 9).
+
+Covers the three properties the rig's measurements rest on: schedules
+are a pure function of the seed, closed-loop concurrency never exceeds
+the configured client count, and the percentile summary matches a
+hand-computed fixture.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.loadgen import (
+    LoadConfig,
+    generate_client_ops,
+    open_arrival_times,
+    run_load,
+)
+from repro.metrics.recorders import LatencyRecorder
+
+
+class _Headers:
+    def __init__(self, mapping=None):
+        self._mapping = {k.lower(): v for k, v in (mapping or {}).items()}
+
+    def get(self, name, default=None):
+        return self._mapping.get(name.lower(), default)
+
+
+class _Response:
+    def __init__(self, status_code, headers=None):
+        self.status_code = status_code
+        self.headers = _Headers(headers)
+
+
+class _FakeFrontend:
+    """Async client double: fixed per-request delay, scripted statuses."""
+
+    def __init__(self, delay=0.001, statuses=None):
+        self.delay = delay
+        self.statuses = list(statuses or [])
+        self.calls = []
+        self.concurrent = 0
+        self.peak_concurrent = 0
+
+    async def request(self, method, path, json=None):
+        self.calls.append((method, path, json))
+        self.concurrent += 1
+        self.peak_concurrent = max(self.peak_concurrent, self.concurrent)
+        try:
+            await asyncio.sleep(self.delay)
+        finally:
+            self.concurrent -= 1
+        status = self.statuses.pop(0) if self.statuses else 200
+        headers = {"retry-after": "0.001"} if status == 429 else {}
+        return _Response(status, headers)
+
+
+# ----------------------------------------------------------------------
+# Deterministic schedules
+# ----------------------------------------------------------------------
+class TestDeterministicSchedule:
+    def test_same_seed_same_ops(self):
+        config = LoadConfig(seed=42, requests_per_client=20, key_space=64)
+        assert generate_client_ops(config, 5) == generate_client_ops(config, 5)
+
+    def test_different_seed_different_ops(self):
+        a = LoadConfig(seed=1, requests_per_client=20, key_space=64)
+        b = LoadConfig(seed=2, requests_per_client=20, key_space=64)
+        assert generate_client_ops(a, 5) != generate_client_ops(b, 5)
+
+    def test_different_clients_different_streams(self):
+        config = LoadConfig(seed=7, requests_per_client=20, key_space=64)
+        assert generate_client_ops(config, 0) != generate_client_ops(config, 1)
+
+    def test_ops_respect_read_fraction_extremes(self):
+        reads = LoadConfig(seed=3, requests_per_client=30, read_fraction=1.0)
+        writes = LoadConfig(seed=3, requests_per_client=30, read_fraction=0.0)
+        assert all(op[0] == "GET" for op in generate_client_ops(reads, 0))
+        assert all(op[0] == "PUT" for op in generate_client_ops(writes, 0))
+
+    def test_write_ops_use_single_command_safe_bodies(self):
+        config = LoadConfig(seed=3, requests_per_client=30, read_fraction=0.0)
+        for _method, path, body in generate_client_ops(config, 2):
+            assert path.startswith("/kv/")
+            assert set(body) == {"value", "mode"}
+
+    def test_zipfian_schedule_is_deterministic_too(self):
+        config = LoadConfig(
+            seed=9, requests_per_client=25, distribution="zipfian", theta=1.0
+        )
+        assert generate_client_ops(config, 1) == generate_client_ops(config, 1)
+
+    def test_open_arrival_times_deterministic_and_increasing(self):
+        config = LoadConfig(
+            seed=11, clients=4, requests_per_client=5, arrival="open",
+            open_rate=1000.0,
+        )
+        times = open_arrival_times(config)
+        assert times == open_arrival_times(config)
+        assert len(times) == 4 * 5
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadConfig(clients=0).validate()
+        with pytest.raises(ConfigurationError):
+            LoadConfig(arrival="bursty").validate()
+        with pytest.raises(ConfigurationError):
+            LoadConfig(read_fraction=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            LoadConfig(arrival="open", open_rate=0).validate()
+
+
+# ----------------------------------------------------------------------
+# Closed-loop concurrency bound
+# ----------------------------------------------------------------------
+class TestClosedLoopConcurrency:
+    def test_concurrency_never_exceeds_client_count(self):
+        fake = _FakeFrontend(delay=0.002)
+        config = LoadConfig(clients=7, requests_per_client=4, seed=1)
+        result = asyncio.run(run_load(fake, config))
+        assert fake.peak_concurrent <= 7
+        assert result.peak_concurrency <= 7
+        assert result.completed == 7 * 4
+        assert len(fake.calls) == 7 * 4
+
+    def test_single_client_is_strictly_sequential(self):
+        fake = _FakeFrontend(delay=0.001)
+        config = LoadConfig(clients=1, requests_per_client=6, seed=2)
+        result = asyncio.run(run_load(fake, config))
+        assert fake.peak_concurrent == 1
+        assert result.completed == 6
+
+    def test_429_retries_are_counted_and_eventually_succeed(self):
+        # First three responses saturate, then the window opens.
+        fake = _FakeFrontend(delay=0.0, statuses=[429, 429, 429, 200])
+        config = LoadConfig(clients=1, requests_per_client=1, seed=3)
+        result = asyncio.run(run_load(fake, config))
+        assert result.retries == 3
+        assert result.completed == 1
+        assert result.status_counts[429] == 3
+        assert result.status_counts[200] == 1
+
+    def test_retry_cap_drops_the_op(self):
+        fake = _FakeFrontend(delay=0.0, statuses=[429] * 10)
+        config = LoadConfig(
+            clients=1, requests_per_client=1, seed=3, max_retries=4
+        )
+        result = asyncio.run(run_load(fake, config))
+        assert result.dropped == 1
+        assert result.completed == 0
+
+    def test_503_counts_as_timeout_not_latency(self):
+        fake = _FakeFrontend(delay=0.0, statuses=[503, 200])
+        config = LoadConfig(clients=1, requests_per_client=2, seed=4)
+        result = asyncio.run(run_load(fake, config))
+        assert result.timeouts == 1
+        assert result.completed == 1
+
+    def test_open_arrival_does_not_retry_429(self):
+        fake = _FakeFrontend(delay=0.0, statuses=[429, 200, 200])
+        config = LoadConfig(
+            clients=3, requests_per_client=1, arrival="open",
+            open_rate=10_000.0, seed=5,
+        )
+        result = asyncio.run(run_load(fake, config))
+        assert result.retries == 0
+        assert result.status_counts.get(429) == 1
+        # The 429'd op is terminal in open mode: only the 200s record.
+        assert result.completed == 2
+
+
+# ----------------------------------------------------------------------
+# Percentile fixture
+# ----------------------------------------------------------------------
+class TestPercentileFixture:
+    def test_summary_matches_hand_computed_values(self):
+        # 1..1000 ms: index = round(f * 999) into the sorted samples.
+        recorder = LatencyRecorder()
+        for ms in range(1, 1001):
+            recorder.record(ms / 1000.0)
+        summary = recorder.summary()
+        assert summary["count"] == 1000
+        # Index formula: min(n-1, round(f*(n-1))) into the sorted samples.
+        assert summary["p50"] == pytest.approx(0.501)   # round(499.5)=500
+        assert summary["p99"] == pytest.approx(0.990)   # round(989.01)=989
+        assert summary["p999"] == pytest.approx(0.999)  # round(998.001)=998
+        assert summary["mean"] == pytest.approx(0.5005)
+
+    def test_p999_on_small_sample_is_the_maximum(self):
+        recorder = LatencyRecorder()
+        for value in (0.010, 0.020, 0.500):
+            recorder.record(value)
+        assert recorder.p999() == pytest.approx(0.500)
+
+    def test_result_record_carries_p999(self):
+        fake = _FakeFrontend(delay=0.0005)
+        config = LoadConfig(clients=2, requests_per_client=3, seed=6)
+        result = asyncio.run(run_load(fake, config))
+        record = result.to_record()
+        assert set(record["latency"]) == {"count", "mean", "p50", "p99", "p999"}
+        assert record["latency"]["count"] == 6
+        assert record["throughput_rps"] > 0

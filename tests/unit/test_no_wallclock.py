@@ -13,7 +13,10 @@ import re
 
 import repro
 
-SWEPT_PACKAGES = ["runtime", "metrics", "replication", "harness", "common"]
+SWEPT_PACKAGES = [
+    "runtime", "metrics", "replication", "harness", "common",
+    "frontend", "loadgen",
+]
 
 #: Matches a call of time.time (not time.monotonic / perf_counter).
 _WALLCLOCK = re.compile(r"\btime\.time\s*\(")

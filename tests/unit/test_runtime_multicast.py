@@ -250,3 +250,168 @@ class TestRetention:
         assert multicast.min_retained() == last + 1
         # latest_sequence is unaffected by truncation.
         assert multicast.latest_sequence() == last
+
+
+class _Router:
+    """A bare ResponseRouter host: just the state the mixin requires."""
+
+    def __init__(self):
+        import threading
+
+        from repro.runtime.cluster import ResponseRouter
+
+        class Host(ResponseRouter):
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._waiters = {}
+                self._responses = {}
+                self.marker_boundary_violations = 0
+
+        self.host = Host()
+
+
+class TestResponseRouterAbandonment:
+    """Regressions for the invoke_async/PendingInvocation timeout path.
+
+    An HTTP request that times out at the frontend abandons its
+    invocation.  The abandonment contract: the waiter registration is
+    dropped immediately, the late response is dropped at the router (not
+    stored forever), and a completion callback registered before the
+    abandonment never fires afterwards.
+    """
+
+    def test_discard_drops_waiter_and_late_response(self):
+        router = _Router().host
+        router._register_waiter("uid")
+        router._discard_waiter("uid")
+        router._respond("uid", "late")
+        assert router._waiters == {}
+        assert router._responses == {}
+
+    def test_discard_drops_raced_response(self):
+        # The response lands first, then the client times out/abandons:
+        # the stored response must not leak.
+        router = _Router().host
+        router._register_waiter("uid")
+        router._respond("uid", "raced")
+        assert router._responses == {"uid": "raced"}
+        router._discard_waiter("uid")
+        assert router._waiters == {}
+        assert router._responses == {}
+
+    def test_callback_fires_once_on_response(self):
+        router = _Router().host
+        seen = []
+        router._register_waiter("uid")
+        assert router._set_waiter_callback("uid", seen.append) is True
+        router._respond("uid", "first")
+        router._respond("uid", "duplicate")
+        assert seen == ["first"]
+        # Callback delivery hands the response over: nothing is stored.
+        assert router._waiters == {}
+        assert router._responses == {}
+
+    def test_callback_with_raced_response_fires_immediately(self):
+        router = _Router().host
+        seen = []
+        router._register_waiter("uid")
+        router._respond("uid", "early")
+        assert router._set_waiter_callback("uid", seen.append) is True
+        assert seen == ["early"]
+        assert router._responses == {}
+
+    def test_callback_after_discard_is_refused_and_never_fires(self):
+        router = _Router().host
+        seen = []
+        router._register_waiter("uid")
+        router._discard_waiter("uid")
+        assert router._set_waiter_callback("uid", seen.append) is False
+        router._respond("uid", "late")
+        assert seen == []
+
+    def test_discard_after_callback_suppresses_delivery(self):
+        router = _Router().host
+        seen = []
+        router._register_waiter("uid")
+        router._set_waiter_callback("uid", seen.append)
+        router._discard_waiter("uid")
+        router._respond("uid", "late")
+        assert seen == []
+        assert router._waiters == {} and router._responses == {}
+
+    def test_respond_many_mixes_callbacks_and_events(self):
+        router = _Router().host
+        seen = []
+        for uid in ("a", "b", "c"):
+            router._register_waiter(uid)
+        router._set_waiter_callback("a", lambda value: seen.append(("a", value)))
+        router._discard_waiter("b")
+        router._respond_many([("a", 1), ("b", 2), ("c", 3)])
+        assert seen == [("a", 1)]
+        assert "b" not in router._responses
+        assert router._responses == {"c": 3}
+
+
+class TestPendingInvocationLifecycle:
+    """End-to-end: abandoned HTTP-style invocations on a real cluster."""
+
+    def _cluster(self):
+        from repro.runtime import ThreadedPSMRCluster
+        from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+        return ThreadedPSMRCluster(
+            KVSTORE_SPEC,
+            lambda: KeyValueStoreServer(initial_keys=4),
+            mpl=2,
+            num_replicas=2,
+        )
+
+    def test_abandoned_invocation_leaves_no_waiter_state(self):
+        with self._cluster() as cluster:
+            client = cluster.client()
+            pending = client.invoke_async("read", key=1)
+            pending.discard()
+            # A second discard is idempotent.
+            pending.discard()
+            cluster.wait_for_quiescence()
+            assert cluster._waiters == {}
+            assert cluster._responses == {}
+
+    def test_uncollected_invocations_leak_without_discard(self):
+        # The leak the frontend bridge must avoid: registered waiters for
+        # invocations nobody ever collects stay in the router forever.
+        with self._cluster() as cluster:
+            client = cluster.client()
+            client.invoke_async("read", key=1)
+            cluster.wait_for_quiescence()
+            assert len(cluster._responses) == 1  # pinned until collected
+
+    def test_callback_delivers_response_value(self):
+        import threading
+
+        with self._cluster() as cluster:
+            client = cluster.client()
+            done = threading.Event()
+            seen = []
+            pending = client.invoke_async("read", key=2)
+
+            def on_done(response):
+                seen.append(response)
+                done.set()
+
+            assert pending.add_done_callback(on_done) is True
+            assert done.wait(5.0)
+            assert seen[0].value == b"\x00" * 8
+            cluster.wait_for_quiescence()
+            assert cluster._waiters == {}
+            assert cluster._responses == {}
+
+    def test_result_after_timeout_discards_registration(self):
+        with self._cluster() as cluster:
+            client = cluster.client()
+            # An invocation that was already collected raises KeyError on a
+            # second result() call instead of hanging.
+            pending = client.invoke_async("read", key=0)
+            pending.result(timeout=5.0)
+            with pytest.raises(KeyError):
+                pending.result(timeout=0.01)
