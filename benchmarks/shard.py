@@ -1,0 +1,222 @@
+"""Shard-rebalance benchmark (ISSUE 10): live migration vs static skew.
+
+Runs the three shard arms from the experiment driver — static even map
+under Zipfian (rank-ordered) skew, the same load after one live
+``rebalance_shards`` migration, and a uniform-load reference — and emits
+``BENCH_shard.json``.
+
+Absolute ops/s are machine-dependent; the committed file is judged on a
+within-run ratio: ``speedup`` (rebalanced throughput over static
+throughput under identical skew).  The acceptance floor is a hard 1.3x —
+a rebalance that fails to recover at least that much over the
+single-hot-group bottleneck means the migration machinery regressed —
+plus a tolerance band against the committed ratio.
+
+All timing uses ``time.perf_counter()`` — never the wall clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard.py --out BENCH_shard.json
+    PYTHONPATH=src python benchmarks/shard.py --smoke --out /tmp/s.json
+    PYTHONPATH=src python benchmarks/shard.py --smoke --check BENCH_shard.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.harness.experiments.shard import (
+    KEY_SPACE,
+    MPL,
+    ZIPF_THETA,
+    _uniform_factory,
+    _zipf_factory,
+    run_shard_arm,
+)
+
+SCHEMA_VERSION = 1
+
+#: Hard acceptance floor on the measured speedup, independent of the
+#: committed reference (ISSUE 10 acceptance: >= 1.3x static baseline).
+SPEEDUP_FLOOR = 1.3
+
+
+def _scale(args):
+    return {
+        "warm_ops": 400 if args.smoke else 1200,
+        "measure_ops": 1000 if args.smoke else 4000,
+        "seed": args.seed,
+    }
+
+
+def _arm_record(arm):
+    migration = arm.pop("migration")
+    record = dict(
+        arm,
+        group_share={str(g): round(s, 4) for g, s in arm["group_share"].items()},
+        ops_per_s=round(arm["ops_per_s"], 2),
+        hot_share=round(arm["hot_share"], 4),
+    )
+    if migration is not None:
+        record["migration"] = {
+            "from_version": migration["from_version"],
+            "to_version": migration["to_version"],
+            "moved_ranges": len(migration["moved_ranges"]),
+            "bytes": migration["bytes"],
+            "verified": migration["verified"],
+            "duration_ms": round(migration["duration_seconds"] * 1000.0, 3),
+        }
+    return record
+
+
+def run_shard_benchmark(args):
+    scale = _scale(args)
+    arms = {}
+    for name, rebalance, factory in (
+        ("static", False, _zipf_factory(scale["seed"])),
+        ("rebalanced", True, _zipf_factory(scale["seed"])),
+        ("uniform", False, _uniform_factory(scale["seed"])),
+    ):
+        arm = run_shard_arm(
+            name, rebalance, factory,
+            scale["warm_ops"], scale["measure_ops"], scale["seed"],
+        )
+        print(
+            f"{name}: {arm['ops_per_s']:.0f} ops/s, "
+            f"hot-group share {arm['hot_share']:.2f}, "
+            f"map v{arm['map_version']}",
+            file=sys.stderr,
+        )
+        arms[name] = _arm_record(arm)
+    speedup = (
+        arms["rebalanced"]["ops_per_s"] / max(arms["static"]["ops_per_s"], 1e-9)
+    )
+    return {
+        "version": SCHEMA_VERSION,
+        "config": {
+            "smoke": bool(args.smoke),
+            "seed": scale["seed"],
+            "mpl": MPL,
+            "key_space": KEY_SPACE,
+            "zipf_theta": ZIPF_THETA,
+            "warm_ops": scale["warm_ops"],
+            "measure_ops": scale["measure_ops"],
+            "runtime": "threaded",
+        },
+        "arms": arms,
+        "summary": {
+            "speedup": round(speedup, 4),
+            "uniform_ceiling": round(
+                arms["uniform"]["ops_per_s"]
+                / max(arms["static"]["ops_per_s"], 1e-9),
+                4,
+            ),
+            "migration_verified": arms["rebalanced"]["migration"]["verified"],
+        },
+    }
+
+
+def validate_schema(document):
+    """Raise ``ValueError`` unless ``document`` has the shard-bench shape."""
+    def need(mapping, key, kind, where):
+        if key not in mapping:
+            raise ValueError(f"missing {where}.{key}")
+        if not isinstance(mapping[key], kind):
+            raise ValueError(
+                f"{where}.{key} must be {kind}, got {type(mapping[key]).__name__}"
+            )
+        return mapping[key]
+
+    if not isinstance(document, dict):
+        raise ValueError("shard document must be an object")
+    if document.get("version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported shard version {document.get('version')!r}")
+    config = need(document, "config", dict, "$")
+    for field in ("mpl", "key_space", "warm_ops", "measure_ops", "seed"):
+        need(config, field, int, "config")
+    arms = need(document, "arms", dict, "$")
+    for name in ("static", "rebalanced", "uniform"):
+        record = need(arms, name, dict, "arms")
+        where = f"arms.{name}"
+        need(record, "ops_per_s", (int, float), where)
+        need(record, "hot_share", (int, float), where)
+        need(record, "map_version", int, where)
+        need(record, "stale_rejections", int, where)
+        shares = need(record, "group_share", dict, where)
+        if len(shares) != config["mpl"]:
+            raise ValueError(f"{where}.group_share must cover every group")
+        if record["ops_per_s"] <= 0:
+            raise ValueError(f"{where}.ops_per_s must be positive")
+    migration = need(arms["rebalanced"], "migration", dict, "arms.rebalanced")
+    for field in ("from_version", "to_version", "moved_ranges", "bytes"):
+        need(migration, field, int, "arms.rebalanced.migration")
+    if migration["verified"] is not True:
+        raise ValueError("the hand-off artifact must verify")
+    if migration["moved_ranges"] < 1:
+        raise ValueError("the rebalance must actually move ranges")
+    if arms["rebalanced"]["map_version"] <= arms["static"]["map_version"]:
+        raise ValueError("rebalanced arm must install a newer map")
+    summary = need(document, "summary", dict, "$")
+    for field in ("speedup", "uniform_ceiling"):
+        need(summary, field, (int, float), "summary")
+    if summary["speedup"] < SPEEDUP_FLOOR:
+        raise ValueError(
+            f"rebalanced speedup x{summary['speedup']:.2f} is below the "
+            f"x{SPEEDUP_FLOOR} acceptance floor"
+        )
+    return document
+
+
+def check_against(document, committed_path, tolerance=0.5):
+    """CI gate: the measured speedup holds the hard floor and stays
+    within a band of the committed run's ratio.
+
+    Absolute ops/s never cross machines; ``speedup`` is measured within
+    a single run on a single machine, so it travels.  The hard 1.3x
+    floor (also enforced by the schema) is the acceptance criterion; the
+    committed-ratio band catches slower drifts.
+    """
+    with open(committed_path, "r", encoding="utf-8") as handle:
+        committed = validate_schema(json.load(handle))
+    measured = document["summary"]["speedup"]
+    reference = committed["summary"]["speedup"]
+    floor = max(SPEEDUP_FLOOR, reference * tolerance)
+    status = "ok" if measured >= floor else "REGRESSED"
+    print(
+        f"gate speedup: measured x{measured:.2f} vs committed "
+        f"x{reference:.2f} (floor x{floor:.2f}) -> {status}",
+        file=sys.stderr,
+    )
+    if measured < floor:
+        raise SystemExit(
+            "shard rebalance speedup regressed: "
+            f"measured x{measured:.2f} < floor x{floor:.2f}"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the benchmark JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced configuration for CI")
+    parser.add_argument("--check", metavar="BENCH",
+                        help="compare against a committed benchmark (CI gate)")
+    parser.add_argument("--seed", type=int, default=20260808)
+    args = parser.parse_args(argv)
+
+    document = validate_schema(run_shard_benchmark(args))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    if args.check:
+        check_against(document, args.check)
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from repro.harness.experiments import (
     run_fig8_netfs,
     run_nemesis,
     run_recovery,
+    run_shard_rebalance,
     run_table1,
 )
 
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "durable-recovery": (run_durable_recovery, True, False),
     "nemesis": (run_nemesis, True, True),
     "frontend": (run_frontend, True, True),
+    "shard-rebalance": (run_shard_rebalance, True, False),
     "ablation-merge": (run_ablation_merge_policy, True, False),
     "ablation-cg": (run_ablation_cg_granularity, True, False),
     "ablation-batch": (run_ablation_batch_size, True, False),

@@ -75,3 +75,15 @@ class RecoveryError(ReproError):
 
 class LinearizabilityViolation(ReproError):
     """Raised by the linearizability checker when no valid serialization exists."""
+
+
+class StaleShardRouteError(ReproError):
+    """Raised when a command was routed with an outdated shard-map version.
+
+    The multicast sequencer raises this *before* the command consumes a
+    sequence number, so nothing is delivered anywhere; the client proxy
+    re-routes against the freshly installed shard map and retries.  This
+    is the mechanism that keeps routing consistent across a live shard
+    migration: a command is either ordered before the map update with the
+    old routing, or after it with the new one — never a mix.
+    """

@@ -16,17 +16,25 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import SeededRNG
 from repro.core.descriptor import Free, Keyed, Serial, ServiceSpec
 from repro.multicast.group import ALL_GROUPS
+from repro.multicast.sharding import stable_key_hash
 
 
 class CGFunction:
-    """The compiled Command-to-Groups mapping for one service and one MPL."""
+    """The compiled Command-to-Groups mapping for one service and one MPL.
 
-    def __init__(self, spec: ServiceSpec, mpl, seed=0, coarse=False):
+    With a :class:`~repro.multicast.sharding.ShardRouter` attached, keyed
+    commands route through the dynamic key-range :class:`ShardMap` instead
+    of the static modulo rule, and :meth:`route` reports the shard-map
+    version used so the multicast sequencer can reject stale routings.
+    """
+
+    def __init__(self, spec: ServiceSpec, mpl, seed=0, coarse=False, router=None):
         if mpl < 1:
             raise ConfigurationError("multiprogramming level must be >= 1")
         self.spec = spec
         self.mpl = mpl
         self.coarse = coarse
+        self.router = router
         self._rng = SeededRNG(seed).child("cg", spec.name)
         self._round_robin = 0
         # Pre-built singleton destination sets, indexed by group id (1..mpl);
@@ -36,28 +44,44 @@ class CGFunction:
     # ------------------------------------------------------------------
     # The mapping itself
     # ------------------------------------------------------------------
+    def route(self, name, args):
+        """Destinations plus the shard-map version the routing was based on.
+
+        Returns ``(groups, shard_version)``.  ``shard_version`` is ``None``
+        for every routing that does not consult the dynamic shard map —
+        Serial/coarse commands go to all groups regardless of the
+        partition, and Free commands carry no key — so only keyed
+        singleton routings are subject to the sequencer's staleness check.
+        """
+        descriptor = self.spec.descriptor(name)
+        routing = descriptor.routing
+        if isinstance(routing, Serial):
+            return ALL_GROUPS, None
+        if isinstance(routing, Keyed):
+            if self.coarse and descriptor.writes:
+                # The paper's "simple C-Dep" example: any state-modifying
+                # command goes to every group, reads go to a random group.
+                return ALL_GROUPS, None
+            key = routing.extractor(args)
+            if self.router is not None:
+                group, version = self.router.route_hash(self._stable_hash(key))
+                return self._singletons[group], version
+            return self._singletons[self.group_of_key(key)], None
+        # Free commands: balance over groups without constraining order.
+        return self._singletons[self._next_free_group()], None
+
     def groups_for(self, name, args):
         """Return the destination groups of an invocation.
 
         The result is either :data:`~repro.multicast.group.ALL_GROUPS` or a
         frozenset with a single group id in ``1..mpl``.
         """
-        descriptor = self.spec.descriptor(name)
-        routing = descriptor.routing
-        if isinstance(routing, Serial):
-            return ALL_GROUPS
-        if isinstance(routing, Keyed):
-            if self.coarse and descriptor.writes:
-                # The paper's "simple C-Dep" example: any state-modifying
-                # command goes to every group, reads go to a random group.
-                return ALL_GROUPS
-            key = routing.extractor(args)
-            return self._singletons[self.group_of_key(key)]
-        # Free commands: balance over groups without constraining order.
-        return self._singletons[self._next_free_group()]
+        return self.route(name, args)[0]
 
     def group_of_key(self, key):
-        """The paper's keyed mapping: ``(key mod k) + 1``."""
+        """The paper's keyed mapping: ``(key mod k) + 1`` — or the shard map."""
+        if self.router is not None:
+            return self.router.shard_map.group_for_hash(self._stable_hash(key))
         return (self._stable_hash(key) % self.mpl) + 1
 
     def _next_free_group(self):
@@ -66,20 +90,9 @@ class CGFunction:
         self._round_robin = (self._round_robin % self.mpl) + 1
         return self._round_robin
 
-    @staticmethod
-    def _stable_hash(key):
-        """A process-independent hash (``hash()`` is salted for strings)."""
-        if isinstance(key, int):
-            return key
-        if isinstance(key, (tuple, list)):
-            mixed = 0
-            for part in key:
-                mixed = mixed * 1000003 + CGFunction._stable_hash(part)
-            return mixed & 0x7FFFFFFF
-        mixed = 0
-        for ch in str(key):
-            mixed = (mixed * 131 + ord(ch)) & 0x7FFFFFFF
-        return mixed
+    #: Single implementation shared with the shard map, so static and
+    #: dynamic routing agree on where any key lives in hash space.
+    _stable_hash = staticmethod(stable_key_hash)
 
     # ------------------------------------------------------------------
     # Validation against a C-Dep

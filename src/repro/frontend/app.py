@@ -19,6 +19,10 @@ slot from the :class:`~repro.frontend.limits.InFlightLimiter` before it
 touches the cluster; a full window is ``429`` with a ``Retry-After``
 header, and a backend timeout is ``503`` (the command may still apply —
 the client must treat it as indeterminate, exactly like a lost TCP ack).
+Multi-leg writes (the upsert fallback chain) admit each leg separately —
+a slot is never held across more than one backend round-trip, and an
+upsert that loses every leg's race reports ``409`` (a clean conflict),
+never ``503``.
 
 The app is coded to the FastAPI subset provided by both the real
 ``fastapi`` package (installed via the ``[frontend]`` extra) and the
@@ -153,25 +157,42 @@ def create_app(kv_backend=None, fs_backend=None, limiter=None,
             response = await _submit(kv_backend, name, key=key, value=value)
         return response.error
 
+    async def _kv_write_admitted(name, key, value):
+        """One admitted write leg: the in-flight slot is taken immediately
+        before the backend command and released as soon as it answers,
+        never held across another leg's await (that would pin a slot
+        through an arbitrary number of backend round-trips and starve
+        the window under 429 pressure)."""
+        _admit()
+        try:
+            return await _kv_write_once(name, key, value)
+        finally:
+            limiter.release()
+
     async def _kv_apply_mode(key, value, mode):
         """Run the selected write mode; return the ``applied`` label."""
         if mode == "insert":
-            error = await _kv_write_once("insert", key, value)
+            error = await _kv_write_admitted("insert", key, value)
             if error == _ERR_EXISTS:
                 raise HTTPException(status_code=409, detail="key exists")
             return "insert"
         if mode == "update":
-            error = await _kv_write_once("update", key, value)
+            error = await _kv_write_admitted("update", key, value)
             if error == _ERR_NOT_FOUND:
                 raise _not_found("key")
             return "update"
         # upsert: update, fall back to insert, then once more to update —
         # bounded against concurrent deleters/inserters racing the key.
+        # Every leg applied (or didn't) as a single replicated command, so
+        # losing all three is a plain conflict: 409 and the client retries.
+        # 503 would lie — that code means "indeterminate, may have applied".
         for attempt in ("update", "insert", "update"):
-            error = await _kv_write_once(attempt, key, value)
+            error = await _kv_write_admitted(attempt, key, value)
             if error is None:
                 return attempt
-        raise HTTPException(status_code=503, detail="upsert lost repeated races")
+        raise HTTPException(
+            status_code=409, detail="upsert lost repeated races; retry"
+        )
 
     @app.get("/kv/{key}")
     async def kv_read(key: int) -> ValueResponse:
@@ -191,11 +212,9 @@ def create_app(kv_backend=None, fs_backend=None, limiter=None,
             value = encode_value(body.value, body.encoding)
         except ValueError as exc:
             raise _bad_payload("value", str(exc), body.value) from None
-        _admit()
-        try:
-            applied = await _kv_apply_mode(key, value, body.mode)
-        finally:
-            limiter.release()
+        # Admission happens per write leg inside _kv_apply_mode: a
+        # multi-leg upsert must not monopolise a slot between legs.
+        applied = await _kv_apply_mode(key, value, body.mode)
         return WriteResponse(key=key, applied=applied)
 
     @app.delete("/kv/{key}")

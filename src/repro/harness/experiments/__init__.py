@@ -16,6 +16,7 @@ from repro.harness.experiments.delta import run_delta_checkpoint
 from repro.harness.experiments.durable import run_durable_recovery
 from repro.harness.experiments.nemesis import run_nemesis
 from repro.harness.experiments.frontend import run_frontend
+from repro.harness.experiments.shard import run_shard_rebalance
 from repro.harness.experiments.ablations import (
     run_ablation_merge_policy,
     run_ablation_cg_granularity,
@@ -36,6 +37,7 @@ __all__ = [
     "run_durable_recovery",
     "run_nemesis",
     "run_frontend",
+    "run_shard_rebalance",
     "run_ablation_merge_policy",
     "run_ablation_cg_granularity",
     "run_ablation_batch_size",

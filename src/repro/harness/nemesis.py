@@ -360,6 +360,190 @@ def _run_live_cluster_episode(
 
 
 # ----------------------------------------------------------------------
+# Shard-migration episode: live re-partitioning under recorded load
+# ----------------------------------------------------------------------
+
+def run_shard_migration_episode(
+    seed,
+    runtime="threaded",
+    num_replicas=2,
+    mpl=4,
+    key_space=4096,
+    background_threads=2,
+    probe_clients=2,
+    probe_ops=10,
+    probe_keys=(900, 901),
+    load_keys=64,
+    migrations=2,
+    migration_gap=0.2,
+    invoke_timeout=15.0,
+    quiesce_timeout=30.0,
+):
+    """One seeded episode of live shard migration under recorded load.
+
+    The cluster starts from an even :class:`ShardMap` while skewed
+    background load (most commands hit the low end of the keyspace, i.e.
+    group 1's initial range) drives the router's load tracker off
+    balance.  Mid-load, the episode calls :meth:`rebalance_shards`
+    ``migrations`` times — each installs a new map through the
+    totally-ordered update barrier and builds a verified hand-off
+    artifact while probe clients keep recording operations.  The oracle
+    is the usual one (linearizable probe history, converged replicas,
+    drained stream, zero boundary violations) plus the migration-specific
+    checks: at least one migration actually moved ranges, and every
+    hand-off artifact verified against a fresh restore.
+
+    ``runtime`` selects ``"threaded"`` or ``"proc"``; both expose the
+    same sharding surface, so the episode body is runtime-agnostic.
+    """
+    from repro.multicast.sharding import ShardMap
+
+    shard_map = ShardMap.initial(mpl, key_space=key_space)
+    if runtime == "threaded":
+        cluster = ThreadedPSMRCluster(
+            KVSTORE_SPEC,
+            lambda: KeyValueStoreServer(initial_keys=load_keys),
+            mpl=mpl,
+            num_replicas=num_replicas,
+            barrier_timeout=15.0,
+            seed=seed,
+            shard_map=shard_map,
+        )
+    elif runtime == "proc":
+        cluster = ProcessPSMRCluster(
+            service="kvstore",
+            service_args={"initial_keys": load_keys},
+            mpl=mpl,
+            num_replicas=num_replicas,
+            barrier_timeout=15.0,
+            seed=seed,
+            shard_map=shard_map,
+        )
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}")
+    recorder = HistoryRecorder()
+    report = {
+        "runtime": f"shard-{runtime}",
+        "seed": seed,
+        "failures": [],
+        "load_errors": [],
+        "migrations": [],
+    }
+    stop = threading.Event()
+    started_at = time.monotonic()
+
+    def loader(index):
+        client = cluster.client()
+        rng = random.Random(derive_seed(seed, "shardload", index))
+        while not stop.is_set():
+            # Skewed: most commands land in the lowest eighth of the
+            # keyspace — group 1's slice of the initial even map.
+            if rng.random() < 0.8:
+                key = rng.randrange(max(1, load_keys // 8))
+            else:
+                key = rng.randrange(load_keys)
+            name = rng.choice(("update", "update", "update", "read"))
+            args = {"key": key}
+            if name == "update":
+                args["value"] = key.to_bytes(4, "big") + rng.randrange(1 << 16).to_bytes(4, "big")
+            try:
+                client.invoke(name, timeout=invoke_timeout, **args)
+            except TimeoutError:
+                report["load_errors"].append(f"loader{index}: {name} key={key} timed out")
+
+    def probe(index):
+        client = cluster.client()
+        rng = random.Random(derive_seed(seed, "shardprobe", index))
+        pace = (migrations + 1) * migration_gap / max(1, probe_ops)
+        for op_index in range(probe_ops):
+            key = probe_keys[(index + op_index) % len(probe_keys)]
+            name = rng.choice(("insert", "read", "update", "read", "delete", "read"))
+            args = {"key": key}
+            if name in ("insert", "update"):
+                args["value"] = f"sp{index}-{op_index}".encode()
+
+            def call(name=name, args=args):
+                response = client.invoke(name, timeout=invoke_timeout, **args)
+                if name == "read":
+                    return response.value if response.error is None else None
+                return None if response.error is None else response.error
+
+            try:
+                recorder.timed_call(client.client_id, name, args, call)
+            except TimeoutError:
+                pass  # recorded as pending (possibly applied)
+            time.sleep(rng.uniform(0.2, 1.0) * pace)
+
+    threads = [
+        threading.Thread(target=loader, args=(i,), name=f"shard-load{i}", daemon=True)
+        for i in range(background_threads)
+    ] + [
+        threading.Thread(target=probe, args=(i,), name=f"shard-probe{i}", daemon=True)
+        for i in range(probe_clients)
+    ]
+    try:
+        with cluster:
+            for thread in threads:
+                thread.start()
+            for _round in range(migrations):
+                time.sleep(migration_gap)
+                record = cluster.rebalance_shards(min_imbalance=1.05)
+                if record is not None:
+                    report["migrations"].append(
+                        dict(record, moved_ranges=[list(r) for r in record["moved_ranges"]])
+                    )
+            time.sleep(migration_gap)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=quiesce_timeout)
+            cluster.wait_for_quiescence(timeout=quiesce_timeout)
+            report["drained"] = cluster.multicast.pending_count() == 0
+            snapshots = cluster.replica_snapshots(quiesce=False)
+            report["converged"] = all(s == snapshots[0] for s in snapshots)
+            report["live_replicas"] = len(snapshots)
+            report["marker_boundary_violations"] = cluster.marker_boundary_violations
+            report["stale_routings_rejected"] = cluster.multicast.stale_routings_rejected
+            report["final_map_version"] = cluster.shard_router.shard_map.version
+            try:
+                check_kv_history(recorder.operations, initial_state={})
+                report["linearizable"] = True
+            except LinearizabilityViolation as violation:
+                report["linearizable"] = False
+                report["failures"].append(f"linearizability: {violation}")
+    finally:
+        stop.set()
+        report["elapsed_s"] = time.monotonic() - started_at
+        report["history"] = [
+            {
+                "client": op.client_id,
+                "name": op.name,
+                "args": {k: repr(v) for k, v in op.args.items()},
+                "result": repr(op.result),
+                "invoked_at": op.invoked_at,
+                "returned_at": op.returned_at,
+            }
+            for op in recorder.operations
+        ]
+        report["probe_operations"] = len(recorder.operations)
+    if not report.get("drained", False):
+        report["failures"].append("multicast did not drain")
+    if not report.get("converged", False):
+        report["failures"].append("replica states diverged")
+    if report.get("marker_boundary_violations", 1) != 0:
+        report["failures"].append("marker boundary violations observed")
+    if not report["migrations"]:
+        report["failures"].append("no migration happened (load never unbalanced the map)")
+    if any(not record["verified"] for record in report["migrations"]):
+        report["failures"].append("a hand-off artifact failed verification")
+    if not any(record["moved_ranges"] for record in report["migrations"]):
+        report["failures"].append("no migration moved any range")
+    if report["load_errors"]:
+        report["failures"].append(f"{len(report['load_errors'])} load invocations timed out")
+    report["ok"] = not report["failures"]
+    return report
+
+
+# ----------------------------------------------------------------------
 # Simulated episode
 # ----------------------------------------------------------------------
 

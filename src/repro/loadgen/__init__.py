@@ -5,6 +5,7 @@ from repro.loadgen.runner import (
     LoadResult,
     generate_client_ops,
     open_arrival_times,
+    parse_retry_after,
     run_load,
     run_load_sync,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "LoadResult",
     "generate_client_ops",
     "open_arrival_times",
+    "parse_retry_after",
     "run_load",
     "run_load_sync",
 ]

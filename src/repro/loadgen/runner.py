@@ -20,6 +20,7 @@ tests can assert the exact op stream.
 """
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -48,6 +49,10 @@ class LoadConfig:
     #: Per-request cap on 429 retries in closed mode; beyond it the op
     #: counts as ``dropped`` (keeps a saturated run finite).
     max_retries: int = 1000
+    #: Ceiling on any single ``Retry-After`` wait, in seconds.  The header
+    #: comes from the server under test — a buggy or hostile value must
+    #: not stall the rig (or a benchmark run) indefinitely.
+    max_backoff: float = 5.0
 
     def validate(self):
         if self.clients < 1:
@@ -60,7 +65,30 @@ class LoadConfig:
             raise ConfigurationError("read_fraction must be in [0, 1]")
         if self.arrival == "open" and self.open_rate <= 0:
             raise ConfigurationError("open_rate must be > 0")
+        if self.max_backoff <= 0:
+            raise ConfigurationError("max_backoff must be > 0")
         return self
+
+
+#: Wait used when a 429 carries no (or an unparseable) ``Retry-After``.
+DEFAULT_RETRY_AFTER = 0.01
+
+
+def parse_retry_after(raw, max_backoff):
+    """A defensive ``Retry-After`` parse: always a float in ``[0, max_backoff]``.
+
+    The header value crosses a trust boundary (it is produced by whatever
+    server the rig points at), so anything unparseable or non-finite falls
+    back to :data:`DEFAULT_RETRY_AFTER`, negatives clamp to zero and large
+    values clamp to ``max_backoff``.
+    """
+    try:
+        wait = float(raw)
+    except (TypeError, ValueError):
+        wait = DEFAULT_RETRY_AFTER
+    if not math.isfinite(wait):
+        wait = DEFAULT_RETRY_AFTER
+    return min(max(wait, 0.0), max_backoff)
 
 
 def generate_client_ops(config, client_index):
@@ -179,7 +207,9 @@ async def _run_one(client, method, path, body, result, gauge, config):
                     return
                 retries += 1
                 result.retries += 1
-                retry_after = float(response.headers.get("retry-after", 0.01))
+                retry_after = parse_retry_after(
+                    response.headers.get("retry-after"), config.max_backoff
+                )
                 await asyncio.sleep(retry_after)
                 continue
             break

@@ -20,6 +20,16 @@ Internally (matching the paper's prototype):
 from repro.multicast.group import Group, GroupLayout, ALL_GROUPS
 from repro.multicast.merge import MergeBuffer, SkipToken
 from repro.multicast.order_checker import OrderChecker
+from repro.multicast.sharding import (
+    HASH_SPACE,
+    ShardLoadTracker,
+    ShardMap,
+    ShardRouter,
+    build_shard_artifact,
+    group_loads,
+    propose_rebalance,
+    stable_key_hash,
+)
 
 __all__ = [
     "Group",
@@ -28,4 +38,12 @@ __all__ = [
     "MergeBuffer",
     "SkipToken",
     "OrderChecker",
+    "HASH_SPACE",
+    "ShardLoadTracker",
+    "ShardMap",
+    "ShardRouter",
+    "build_shard_artifact",
+    "group_loads",
+    "propose_rebalance",
+    "stable_key_hash",
 ]

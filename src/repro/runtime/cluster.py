@@ -41,11 +41,18 @@ from repro.common.checkpoint import (
     restore_chain,
 )
 from repro.common.checkpoint_store import ChainGossip, CheckpointStore
-from repro.common.errors import ConfigurationError, RecoveryError, ReplicaCrashedError
+from repro.common.errors import (
+    CheckpointError,
+    ConfigurationError,
+    RecoveryError,
+    ReplicaCrashedError,
+    StaleShardRouteError,
+)
 from repro.core.cg import CGFunction
 from repro.core.command import Command
 from repro.core.protocol import plan_execution
 from repro.multicast.group import ALL_GROUPS
+from repro.multicast.sharding import ShardRouter, build_shard_artifact
 from repro.runtime.multicast import LocalAtomicMulticast, decode_wire
 
 #: ``plan_execution`` is a pure function of hashable arguments and the hot
@@ -104,29 +111,18 @@ class _BarrierSync:
             self._cond.notify_all()
 
 
-class CheckpointMarker:
-    """A control message that snapshots replicas at a consistent cut.
+class _ReplicaWaitable:
+    """Per-replica deliver/fail/wait machinery shared by control messages.
 
-    The marker is multicast to :data:`ALL_GROUPS`, so it is totally ordered
-    against every command.  On delivery it is executed in synchronous mode
-    by every replica: thread 1 waits until all its sibling threads have
-    reached the marker (at which point the replica's service reflects
-    exactly the commands ordered before the marker).
-
-    With a concrete ``source_replica_id``, only that replica materialises
-    ``service.checkpoint()`` — the other replicas pay just the barrier,
-    which is what makes the cut consistent cluster-wide without N copies of
-    the state.  With ``source_replica_id=None`` (a *periodic* marker) every
-    replica takes a local checkpoint at the cut, keeping the state to
-    itself and advancing its installed-checkpoint watermark; the marker
-    only records completion, which is what log truncation waits on.
+    A control message is multicast to :data:`ALL_GROUPS` and executed in
+    synchronous mode by every replica; the issuing thread waits on each
+    replica's delivery through this mixin.  First delivery wins (replay
+    re-executions are dropped), a crash fails the waiter immediately, and
+    results are handed over on collection so a message retained in the
+    multicast log cannot pin state in memory.
     """
 
-    _ids = itertools.count()
-
-    def __init__(self, source_replica_id=None):
-        self.uid = ("__checkpoint__", next(self._ids))
-        self.source_replica_id = source_replica_id
+    def __init__(self):
         self._lock = threading.Lock()
         self._delivered = set()
         self._results = {}
@@ -185,6 +181,61 @@ class CheckpointMarker:
             if replica_id in self._failures:
                 raise self._failures[replica_id]
             return self._results.pop(replica_id)
+
+
+class CheckpointMarker(_ReplicaWaitable):
+    """A control message that snapshots replicas at a consistent cut.
+
+    The marker is multicast to :data:`ALL_GROUPS`, so it is totally ordered
+    against every command.  On delivery it is executed in synchronous mode
+    by every replica: thread 1 waits until all its sibling threads have
+    reached the marker (at which point the replica's service reflects
+    exactly the commands ordered before the marker).
+
+    With a concrete ``source_replica_id``, only that replica materialises
+    ``service.checkpoint()`` — the other replicas pay just the barrier,
+    which is what makes the cut consistent cluster-wide without N copies of
+    the state.  With ``source_replica_id=None`` (a *periodic* marker) every
+    replica takes a local checkpoint at the cut, keeping the state to
+    itself and advancing its installed-checkpoint watermark; the marker
+    only records completion, which is what log truncation waits on.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, source_replica_id=None):
+        super().__init__()
+        self.uid = ("__checkpoint__", next(self._ids))
+        self.source_replica_id = source_replica_id
+
+
+class ShardMapUpdate(_ReplicaWaitable):
+    """A control message that re-partitions the keyspace at a consistent cut.
+
+    Ordered on every group (so it is a barrier against every command) via
+    :meth:`LocalAtomicMulticast.multicast_shard_update`, which advances
+    the sequencer's shard version atomically with the update's own
+    sequence number.  On delivery each replica synchronises all its worker
+    threads — the replica's state then reflects exactly the commands
+    routed under the *old* map — and thread 1 builds the shard hand-off
+    artifact for the moved ranges: the replica's checkpoint chain plus a
+    live-tail delta, filtered to the moved key ranges and verified by
+    restoring it into a fresh service (see
+    :func:`~repro.multicast.sharding.build_shard_artifact`).
+
+    ``source_replica_id`` is ``None`` like a periodic marker: every
+    replica participates, so a crash of *any* replica fails the waiter
+    (``crash_replica`` scans pending control messages by that field).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, new_map, moved_ranges):
+        super().__init__()
+        self.uid = ("__shardmap__", next(self._ids))
+        self.source_replica_id = None
+        self.new_map = new_map
+        self.moved_ranges = moved_ranges
 
 
 class _Replica:
@@ -285,6 +336,17 @@ class _Replica:
                             cluster._record_boundary_violation()
                             self._flush_responses(pending)
                         continue
+                    if isinstance(command, ShardMapUpdate):
+                        # Same cut discipline as a marker: the update is a
+                        # barrier, so responses flush before it and nothing
+                        # after it has executed when the hand-off artifact
+                        # is built.
+                        self._flush_responses(pending)
+                        self._handle_shard_update(sequence, command, index)
+                        if pending:
+                            cluster._record_boundary_violation()
+                            self._flush_responses(pending)
+                        continue
                     plan = _cached_plan(destinations, index, mpl)
                     if plan.mode == "parallel":
                         pending.append((command.uid, self._execute(command)))
@@ -357,6 +419,44 @@ class _Replica:
                 self.cluster._chain_updated(self)
             marker.deliver(self.replica_id, sequence, state)
         self.barrier.complete(marker.uid)
+
+    def _handle_shard_update(self, sequence, update, index):
+        """Synchronous-mode execution of a :class:`ShardMapUpdate`.
+
+        Once every thread has reached the update, the replica's service
+        reflects exactly the commands routed under the old shard map, so
+        the executor's hand-off artifact is a consistent cut of the moved
+        ranges at ``sequence``.  Routing already switched at the sequencer
+        when the update was ordered; this barrier is what makes the state
+        transfer point well-defined on every replica.
+        """
+        executor = 1
+        if index != executor:
+            self.barrier.signal(update.uid, index)
+            self.barrier.wait_for_completion(
+                update.uid, timeout=self.cluster.barrier_timeout
+            )
+            return
+        peers = range(2, self.cluster.mpl + 1)
+        self.barrier.wait_for_peers(
+            update.uid, peers, timeout=self.cluster.barrier_timeout
+        )
+        try:
+            if update.moved_ranges:
+                with self.chain_lock:
+                    artifact = build_shard_artifact(
+                        self.service,
+                        self.checkpoint_chain,
+                        update.moved_ranges,
+                        service_factory=self.cluster.service_factory,
+                    )
+            else:
+                artifact = None
+        except CheckpointError as exc:
+            update.fail(self.replica_id, exc)
+        else:
+            update.deliver(self.replica_id, sequence, artifact)
+        self.barrier.complete(update.uid)
 
     def _take_local_checkpoint(self, sequence):
         """Snapshot the service at a periodic cut; returns the chain entry.
@@ -481,18 +581,33 @@ class ThreadedClient:
             name=name,
             args=args,
         )
-        gamma = self.cluster.cg.groups_for(name, args)
-        command.destinations = gamma
-        self.cluster._register_waiter(command.uid)
+        cluster = self.cluster
+        cluster._register_waiter(command.uid)
         try:
-            self.cluster.multicast.multicast(gamma, command)
+            # Routing races a live shard-map change: the sequencer rejects
+            # a routing computed against a superseded map before it
+            # consumes a sequence number, and we simply re-route against
+            # the new map.  One retry suffices per map change; the bound
+            # only guards against a pathological stream of updates.
+            for _attempt in range(8):
+                gamma, shard_version = cluster.cg.route(name, args)
+                command.destinations = gamma
+                try:
+                    cluster.multicast.multicast(
+                        gamma, command, shard_version=shard_version
+                    )
+                except StaleShardRouteError:
+                    continue
+                return PendingInvocation(cluster, command.uid, name)
+            raise StaleShardRouteError(
+                f"routing of {name} stayed stale across 8 shard-map changes"
+            )
         except BaseException:
             # A failed submit must not leak its waiter registration: the
             # command was never sequenced, so no response will ever come
             # to collect it.
-            self.cluster._discard_waiter(command.uid)
+            cluster._discard_waiter(command.uid)
             raise
-        return PendingInvocation(self.cluster, command.uid, name)
 
     def invoke(self, name, timeout=10.0, **args):
         """Invoke a service command and return its value (first replica response)."""
@@ -691,7 +806,8 @@ class ThreadedPSMRCluster(ResponseRouter):
                  coarse_cg=False, barrier_timeout=10.0, seed=0,
                  log_retention=None, checkpoint_policy=None,
                  checkpoint_poll_interval=0.005, store_dir=None,
-                 delivery_batch_size=32, wire_codec=None, fault_plane=None):
+                 delivery_batch_size=32, wire_codec=None, fault_plane=None,
+                 shard_map=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         if delivery_batch_size < 1:
@@ -705,7 +821,17 @@ class ThreadedPSMRCluster(ResponseRouter):
         #: one-lock-round-trip-per-command behaviour (the benchmark's
         #: "before" arm).
         self.delivery_batch_size = delivery_batch_size
-        self.cg = CGFunction(spec, mpl, seed=seed, coarse=coarse_cg)
+        #: Dynamic sharding (opt-in): with a ``shard_map``, keyed commands
+        #: route through a versioned key-range partition instead of the
+        #: static modulo rule, and :meth:`update_shard_map` /
+        #: :meth:`rebalance_shards` re-partition the keyspace live.
+        self.shard_router = (
+            ShardRouter(shard_map, mpl) if shard_map is not None else None
+        )
+        self.shard_migrations = []
+        self.cg = CGFunction(
+            spec, mpl, seed=seed, coarse=coarse_cg, router=self.shard_router
+        )
         #: Optional shared network fault plane; deliveries detour through
         #: the multicast's :class:`FaultyLinkPipe` when set.
         self.fault_plane = fault_plane
@@ -713,6 +839,9 @@ class ThreadedPSMRCluster(ResponseRouter):
             mpl, retention=log_retention, wire_codec=wire_codec,
             fault_plane=fault_plane,
         )
+        if self.shard_router is not None:
+            self.multicast.shard_router = self.shard_router
+            self.multicast.shard_version = shard_map.version
         self.checkpoint_policy = checkpoint_policy
         self.checkpoint_poll_interval = checkpoint_poll_interval
         self.checkpoints_taken = 0
@@ -869,6 +998,96 @@ class ThreadedPSMRCluster(ResponseRouter):
         finally:
             with self._lock:
                 self._pending_markers.discard(marker)
+
+    # ------------------------------------------------------------------
+    # Dynamic sharding
+    # ------------------------------------------------------------------
+    def update_shard_map(self, new_map, timeout=None):
+        """Install a new shard map live; returns the migration record.
+
+        The update is ordered on every group, so it is a barrier against
+        every command: commands sequenced before it were routed (and
+        checked) under the old map, commands after it under the new one —
+        the sequencer flips versions atomically with the update's
+        sequencing, and clients re-route anything rejected as stale.  Each
+        live replica synchronises its workers at the update and builds a
+        verified hand-off artifact (base checkpoint + delta suffix,
+        filtered to the moved ranges) at the cut; the cluster keeps the
+        migration record in :attr:`shard_migrations`.
+
+        No replica stops serving at any point: the barrier is the same one
+        a periodic checkpoint pays, and command execution resumes the
+        moment the artifact is built.
+        """
+        if self.shard_router is None:
+            raise ConfigurationError("cluster was built without a shard map")
+        old_map = self.shard_router.shard_map
+        if new_map.version != old_map.version + 1:
+            raise ConfigurationError(
+                "shard map version must advance by one: "
+                f"{old_map.version} -> {new_map.version}"
+            )
+        moved = new_map.moved_ranges(old_map)
+        update = ShardMapUpdate(new_map, moved)
+        with self._lock:
+            self._pending_markers.add(update)
+        started = time.monotonic()
+        artifacts = {}
+        sequence = None
+        try:
+            live = self.live_replicas()
+            self.multicast.multicast_shard_update(update, new_map)
+            wait_timeout = timeout if timeout is not None else self.barrier_timeout
+            # One shared deadline across the replica waits, like a
+            # periodic checkpoint.
+            deadline = time.monotonic() + wait_timeout
+            for replica in live:
+                try:
+                    sequence, artifact = update.wait_for(
+                        replica.replica_id, max(0.0, deadline - time.monotonic())
+                    )
+                except RecoveryError:
+                    continue  # crashed while the update was in flight
+                artifacts[replica.replica_id] = artifact
+        finally:
+            with self._lock:
+                self._pending_markers.discard(update)
+        record = {
+            "from_version": old_map.version,
+            "to_version": new_map.version,
+            "sequence": sequence,
+            "moved_ranges": list(moved),
+            "duration_seconds": time.monotonic() - started,
+            "replicas": sorted(artifacts),
+            "bytes": sum(
+                artifact["bytes"] for artifact in artifacts.values() if artifact
+            ),
+            "verified": all(
+                artifact["verified"] is not False
+                for artifact in artifacts.values()
+                if artifact
+            ),
+        }
+        with self._lock:
+            self.shard_migrations.append(record)
+        return record
+
+    def rebalance_shards(self, min_imbalance=1.25, timeout=None):
+        """Re-partition from observed load; ``None`` when balanced enough.
+
+        Asks the router's load tracker for a rebalance proposal
+        (:func:`~repro.multicast.sharding.propose_rebalance`) and installs
+        it via :meth:`update_shard_map`.  The tracker resets after a
+        migration so the next proposal reflects post-migration load.
+        """
+        if self.shard_router is None:
+            raise ConfigurationError("cluster was built without a shard map")
+        proposal = self.shard_router.propose_rebalance(min_imbalance=min_imbalance)
+        if proposal is None:
+            return None
+        record = self.update_shard_map(proposal, timeout=timeout)
+        self.shard_router.tracker.reset()
+        return record
 
     # ------------------------------------------------------------------
     # Periodic checkpoints and log truncation

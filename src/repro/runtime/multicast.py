@@ -21,7 +21,11 @@ import pickle
 import threading
 
 from repro.common import codec as _codec
-from repro.common.errors import ConfigurationError, RecoveryError
+from repro.common.errors import (
+    ConfigurationError,
+    RecoveryError,
+    StaleShardRouteError,
+)
 from repro.core.command import Command
 from repro.multicast.group import ALL_GROUPS, GroupLayout
 from repro.runtime.transport.base import TransportRoute
@@ -118,6 +122,15 @@ class LocalAtomicMulticast:
         self._min_retained = 0
         self._latest_sequence = -1
         self.messages_multicast = 0
+        #: Version of the shard map the sequencer currently honours.  A
+        #: ``multicast`` carrying an older version is rejected before it
+        #: consumes a sequence number; :meth:`multicast_shard_update`
+        #: advances it atomically with the update's own sequencing.
+        self.shard_version = 0
+        #: Optional :class:`~repro.multicast.sharding.ShardRouter` whose
+        #: map is installed under the sequencing lock on shard updates.
+        self.shard_router = None
+        self.stale_routings_rejected = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -189,8 +202,16 @@ class LocalAtomicMulticast:
     # ------------------------------------------------------------------
     # Multicast
     # ------------------------------------------------------------------
-    def multicast(self, destinations, payload):
-        """Atomically deliver ``payload`` to every thread of every destination group."""
+    def multicast(self, destinations, payload, shard_version=None):
+        """Atomically deliver ``payload`` to every thread of every destination group.
+
+        ``shard_version`` is the shard-map version the caller routed
+        ``destinations`` with (``None`` for routings that never consult
+        the dynamic map).  If a shard-map update was sequenced since the
+        routing, the call raises
+        :class:`~repro.common.errors.StaleShardRouteError` *before*
+        consuming a sequence number, and the caller re-routes.
+        """
         try:
             threads = self._threads_for[destinations]
         except (KeyError, TypeError):
@@ -209,41 +230,75 @@ class LocalAtomicMulticast:
         if encoded:
             payload = encode_wire(payload, self.wire_codec)
         with self._lock:
-            sequence = next(self._sequence)
-            self._latest_sequence = sequence
-            self.messages_multicast += 1
-            if encoded:
-                self.wire_bytes += len(payload)
-            self._log.append((sequence, destinations, threads, payload))
-            if self._retention is not None and len(self._log) > self._retention:
-                del self._log[: len(self._log) - self._retention]
-                self._min_retained = self._log[0][0]
-            item = (sequence, destinations, payload)
-            route = self._routes.get(threads)
-            if route is None:
-                flat = [
-                    endpoint
-                    for (_replica, thread_index), endpoint in self._queues.items()
-                    if thread_index in threads
-                ]
-                # Group targets per replica so fault planning sees one
-                # per-replica delivery (all threads of a replica share the
-                # planned copies, like one connection per peer), in a
-                # stable replica order so the plane's rng draws line up
-                # across replays of the same ordered-message sequence.
-                by_replica = {}
-                for (replica, thread_index), endpoint in self._queues.items():
-                    if thread_index in threads:
-                        by_replica.setdefault(replica, []).append(
-                            (thread_index, endpoint)
-                        )
-                grouped = [
-                    (replica, by_replica[replica])
-                    for replica in sorted(by_replica)
-                ]
-                route = TransportRoute(flat, grouped)
-                self._routes[threads] = route
-            self.transport.send(route, item)
+            if shard_version is not None and shard_version != self.shard_version:
+                self.stale_routings_rejected += 1
+                raise StaleShardRouteError(
+                    f"command routed with shard map v{shard_version}, "
+                    f"sequencer is at v{self.shard_version}"
+                )
+            sequence = self._order_locked(destinations, threads, payload, encoded)
+        return sequence
+
+    def multicast_shard_update(self, payload, new_map):
+        """Order a shard-map update on every group, advancing the version.
+
+        The update is sequenced like any ``ALL_GROUPS`` multicast, but the
+        sequencer's ``shard_version`` (and the attached router's map, if
+        any) advance *under the same lock acquisition* — so every command
+        sequenced before the update was checked against the old version
+        and every one after it against the new.  There is no window in
+        which a stale routing can slip past the update.
+        """
+        threads = frozenset(range(1, self.mpl + 1))
+        with self._lock:
+            if new_map.version <= self.shard_version:
+                raise ConfigurationError(
+                    f"shard map version must advance: {new_map.version} "
+                    f"<= {self.shard_version}"
+                )
+            sequence = self._order_locked(ALL_GROUPS, threads, payload, False)
+            self.shard_version = new_map.version
+            if self.shard_router is not None:
+                self.shard_router.install(new_map)
+        return sequence
+
+    def _order_locked(self, destinations, threads, payload, encoded):
+        """Assign a sequence number, log and send; caller holds ``_lock``."""
+        sequence = next(self._sequence)
+        self._latest_sequence = sequence
+        self.messages_multicast += 1
+        if encoded:
+            self.wire_bytes += len(payload)
+        self._log.append((sequence, destinations, threads, payload))
+        if self._retention is not None and len(self._log) > self._retention:
+            del self._log[: len(self._log) - self._retention]
+            self._min_retained = self._log[0][0]
+        item = (sequence, destinations, payload)
+        route = self._routes.get(threads)
+        if route is None:
+            flat = [
+                endpoint
+                for (_replica, thread_index), endpoint in self._queues.items()
+                if thread_index in threads
+            ]
+            # Group targets per replica so fault planning sees one
+            # per-replica delivery (all threads of a replica share the
+            # planned copies, like one connection per peer), in a
+            # stable replica order so the plane's rng draws line up
+            # across replays of the same ordered-message sequence.
+            by_replica = {}
+            for (replica, thread_index), endpoint in self._queues.items():
+                if thread_index in threads:
+                    by_replica.setdefault(replica, []).append(
+                        (thread_index, endpoint)
+                    )
+            grouped = [
+                (replica, by_replica[replica])
+                for replica in sorted(by_replica)
+            ]
+            route = TransportRoute(flat, grouped)
+            self._routes[threads] = route
+        self.transport.send(route, item)
         return sequence
 
     # ------------------------------------------------------------------

@@ -35,19 +35,25 @@ import time
 
 from repro.common.checkpoint import NO_COMPRESSION, estimate_checkpoint_size
 from repro.common.checkpoint_store import ChainGossip
-from repro.common.errors import ConfigurationError, RecoveryError
+from repro.common.errors import (
+    CheckpointError,
+    ConfigurationError,
+    RecoveryError,
+)
 from repro.core.cg import CGFunction
 from repro.core.command import Response
 from repro.multicast.group import ALL_GROUPS
+from repro.multicast.sharding import ShardRouter
 from repro.runtime.cluster import (
     CheckpointMarker,
     ResponseRouter,
+    ShardMapUpdate,
     ThreadedClient,
     _CheckpointScheduler,
 )
 from repro.runtime.multicast import LocalAtomicMulticast
 from repro.runtime.transport import wire
-from repro.runtime.transport.wire import make_marker
+from repro.runtime.transport.wire import make_marker, make_shard_update
 from repro.runtime.transport.tcp import TcpCoordinatorTransport
 from repro.services import KVSTORE_SPEC, NETFS_SPEC
 
@@ -97,7 +103,7 @@ class ProcessPSMRCluster(ResponseRouter):
                  log_retention=None, checkpoint_policy=None,
                  checkpoint_poll_interval=0.005, store_dir=None,
                  delivery_batch_size=32, fault_plane=None,
-                 spawn_timeout=30.0, host="127.0.0.1"):
+                 spawn_timeout=30.0, host="127.0.0.1", shard_map=None):
         if num_replicas < 1:
             raise ConfigurationError("need at least one replica")
         if delivery_batch_size < 1:
@@ -112,7 +118,17 @@ class ProcessPSMRCluster(ResponseRouter):
         self.barrier_timeout = barrier_timeout
         self.delivery_batch_size = delivery_batch_size
         self.spawn_timeout = spawn_timeout
-        self.cg = CGFunction(self.spec, mpl, seed=seed)
+        #: Dynamic sharding (opt-in), mirroring the threaded cluster: with
+        #: a ``shard_map``, keyed commands route through the live key-range
+        #: partition and :meth:`update_shard_map` migrates ranges between
+        #: groups without pausing the replica processes.
+        self.shard_router = (
+            ShardRouter(shard_map, mpl) if shard_map is not None else None
+        )
+        self.shard_migrations = []
+        self.cg = CGFunction(
+            self.spec, mpl, seed=seed, router=self.shard_router
+        )
         self.fault_plane = fault_plane
         self.transport = TcpCoordinatorTransport(
             fault_plane, on_message=self._on_message, host=host
@@ -121,6 +137,9 @@ class ProcessPSMRCluster(ResponseRouter):
             mpl, retention=log_retention, wire_codec="binary",
             transport=self.transport,
         )
+        if self.shard_router is not None:
+            self.multicast.shard_router = self.shard_router
+            self.multicast.shard_version = shard_map.version
         self.checkpoint_policy = checkpoint_policy
         self.checkpoint_poll_interval = checkpoint_poll_interval
         self.checkpoints_taken = 0
@@ -285,6 +304,8 @@ class ProcessPSMRCluster(ResponseRouter):
             )
         elif kind == "mk":
             self._handle_marker_done(replica_id, message)
+        elif kind == "sh":
+            self._handle_shard_done(replica_id, message)
         elif kind in ("stats", "snap", "chain", "compacted"):
             if kind == "stats":
                 self._note_boundary(replica_id, message["boundary"])
@@ -321,6 +342,27 @@ class ProcessPSMRCluster(ResponseRouter):
             marker = self._pending_markers.get(message["marker"])
         if marker is not None:
             marker.deliver(replica_id, sequence, message["state"])
+
+    def _handle_shard_done(self, replica_id, message):
+        """A replica process finished a shard-map update: hand the
+        artifact stats (or the build failure) to the waiting update."""
+        with self._lock:
+            update = self._pending_markers.get(("shard", message["update"]))
+        if update is None:
+            return  # e.g. re-executed during replay after the wait ended
+        if message.get("error"):
+            update.fail(replica_id, CheckpointError(message["error"]))
+            return
+        update.deliver(
+            replica_id,
+            message["sequence"],
+            {
+                "entries": message["entries"],
+                "bytes": message["bytes"],
+                "keys": message["keys"],
+                "verified": message["verified"],
+            },
+        )
 
     def _note_boundary(self, replica_id, count):
         replica = self.replicas[replica_id]
@@ -570,6 +612,87 @@ class ProcessPSMRCluster(ResponseRouter):
             )
             return "chain-suffix"
         return None
+
+    # ------------------------------------------------------------------
+    # Dynamic sharding
+    # ------------------------------------------------------------------
+    def update_shard_map(self, new_map, timeout=None):
+        """Install a new shard map live across the replica processes.
+
+        Same protocol as the threaded cluster — the update is sequenced on
+        every group while the sequencer's shard version advances under the
+        same lock acquisition — but the update crosses the wire as a plain
+        :func:`~repro.runtime.transport.wire.make_shard_update` dict and
+        each replica process reports its hand-off artifact back in an
+        ``"sh"`` frame (stats only; the artifact itself stays in the
+        child, which is where the moved state already lives).
+        """
+        if self.shard_router is None:
+            raise ConfigurationError("cluster was built without a shard map")
+        old_map = self.shard_router.shard_map
+        if new_map.version != old_map.version + 1:
+            raise ConfigurationError(
+                "shard map version must advance by one: "
+                f"{old_map.version} -> {new_map.version}"
+            )
+        moved = new_map.moved_ranges(old_map)
+        update = ShardMapUpdate(new_map, moved)
+        key = ("shard", update.uid[1])
+        with self._lock:
+            self._pending_markers[key] = update
+        started = time.monotonic()
+        stats = {}
+        sequence = None
+        try:
+            live = self.live_replicas()
+            self.multicast.multicast_shard_update(
+                make_shard_update(update.uid[1], new_map.to_wire(), moved),
+                new_map,
+            )
+            wait_timeout = (
+                timeout if timeout is not None else self.barrier_timeout
+            )
+            deadline = time.monotonic() + wait_timeout
+            for replica in live:
+                try:
+                    sequence, reply = update.wait_for(
+                        replica.replica_id,
+                        max(0.0, deadline - time.monotonic()),
+                    )
+                except RecoveryError:
+                    continue  # crashed while the update was in flight
+                stats[replica.replica_id] = reply
+        finally:
+            with self._lock:
+                self._pending_markers.pop(key, None)
+        record = {
+            "from_version": old_map.version,
+            "to_version": new_map.version,
+            "sequence": sequence,
+            "moved_ranges": list(moved),
+            "duration_seconds": time.monotonic() - started,
+            "replicas": sorted(stats),
+            "bytes": sum(reply["bytes"] for reply in stats.values()),
+            "verified": all(
+                reply["verified"] is not False for reply in stats.values()
+            ),
+        }
+        with self._lock:
+            self.shard_migrations.append(record)
+        return record
+
+    def rebalance_shards(self, min_imbalance=1.25, timeout=None):
+        """Re-partition from observed load; ``None`` when balanced enough."""
+        if self.shard_router is None:
+            raise ConfigurationError("cluster was built without a shard map")
+        proposal = self.shard_router.propose_rebalance(
+            min_imbalance=min_imbalance
+        )
+        if proposal is None:
+            return None
+        record = self.update_shard_map(proposal, timeout=timeout)
+        self.shard_router.tracker.reset()
+        return record
 
     # ------------------------------------------------------------------
     # Checkpoints and log truncation

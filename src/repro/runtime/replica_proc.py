@@ -33,9 +33,10 @@ from repro.common.checkpoint import (
     restore_chain,
 )
 from repro.common.checkpoint_store import CheckpointStore
-from repro.common.errors import ReplicaCrashedError
+from repro.common.errors import CheckpointError, ReplicaCrashedError
 from repro.common.faults import ReliableLink
 from repro.multicast.group import GroupLayout
+from repro.multicast.sharding import build_shard_artifact
 from repro.runtime.cluster import _BarrierSync, _cached_plan
 from repro.runtime.multicast import decode_wire
 from repro.runtime.transport import wire
@@ -48,6 +49,7 @@ SERVICES = {
 }
 
 is_marker = wire.is_marker
+is_shard_update = wire.is_shard_update
 
 
 class ReplicaProcess:
@@ -208,6 +210,16 @@ class ReplicaProcess:
                                 self.boundary_violations += 1
                             self._flush_responses(pending)
                         continue
+                    if is_shard_update(payload):
+                        # Same cut discipline as a marker: the shard-map
+                        # update is a barrier against every command.
+                        self._flush_responses(pending)
+                        self._handle_shard_update(sequence, payload, index)
+                        if pending:
+                            with self._counter_lock:
+                                self.boundary_violations += 1
+                            self._flush_responses(pending)
+                        continue
                     command = decode_wire(payload)
                     plan = _cached_plan(destinations, index, mpl)
                     if plan.mode == "parallel":
@@ -266,6 +278,57 @@ class ReplicaProcess:
                 self.deltas_since_full = 0
                 self._persist_locked()
             self._send_marker_done(marker, sequence, entry, state=state)
+        self.barrier.complete(uid)
+
+    def _handle_shard_update(self, sequence, update, index):
+        """Barrier-execute a shard-map update and report the hand-off artifact.
+
+        Mirrors the threaded runtime's ``_Replica._handle_shard_update``:
+        once every worker has reached the update, the service reflects
+        exactly the commands routed under the old map, and thread 1 builds
+        (and self-verifies) the moved ranges' chain artifact at the cut.
+        Only the artifact's stats cross the wire — every P-SMR replica
+        already holds the full state; what moves is ordering ownership,
+        and the artifact proves the transferable state was consistent.
+        """
+        uid = ("__shardmap__", update["update"])
+        if index != 1:
+            self.barrier.signal(uid, index)
+            self.barrier.wait_for_completion(uid, timeout=self.barrier_timeout)
+            return
+        self.barrier.wait_for_peers(
+            uid, range(2, self.mpl + 1), timeout=self.barrier_timeout
+        )
+        moved = update["moved"]
+        reply = {
+            "t": "sh",
+            "update": update["update"],
+            "sequence": sequence,
+            "version": update["map"]["version"],
+            "ranges": len(moved),
+            "entries": 0,
+            "bytes": 0,
+            "keys": 0,
+            "verified": None,
+            "error": None,
+        }
+        try:
+            if moved:
+                with self.chain_lock:
+                    artifact = build_shard_artifact(
+                        self.service,
+                        self.chain,
+                        moved,
+                        service_factory=self.service_factory,
+                    )
+                reply["entries"] = artifact["entries"]
+                reply["bytes"] = artifact["bytes"]
+                reply["keys"] = artifact.get("keys", 0)
+                reply["verified"] = artifact["verified"]
+        except CheckpointError as exc:
+            reply["error"] = str(exc)
+            reply["verified"] = False
+        self.send(reply)
         self.barrier.complete(uid)
 
     def _take_local_checkpoint(self, sequence):

@@ -28,6 +28,9 @@ type                    dir    meaning
 ``mk``                  c→s    marker executed: sequence, chain manifest,
                                checkpoint kind/bytes, state (source
                                markers only)
+``sh``                  c→s    shard-map update executed: sequence plus
+                               the hand-off artifact's stats (ranges,
+                               entries, bytes, verified)
 ``stats?``/``stats``    s→c/c→s  execution counters + queue backlog
 ``snap?``/``snap``      s→c/c→s  service snapshot
 ``chain?``/``chain``    s→c/c→s  chain-suffix donation after a cut
@@ -67,6 +70,25 @@ def make_marker(marker_id, source_replica_id):
 
 def is_marker(payload):
     return isinstance(payload, dict) and payload.get(MARKER_KEY)
+
+
+SHARD_KEY = "__psmr_shard__"
+
+
+def make_shard_update(update_id, map_wire, moved_ranges):
+    """The process runtime's shard-map update: a plain wire dict carrying
+    the new map (:meth:`ShardMap.to_wire`) and the moved hash ranges
+    ``(lo, hi, from_group, to_group)`` the hand-off artifact must cover."""
+    return {
+        SHARD_KEY: True,
+        "update": update_id,
+        "map": map_wire,
+        "moved": tuple(tuple(entry) for entry in moved_ranges),
+    }
+
+
+def is_shard_update(payload):
+    return isinstance(payload, dict) and payload.get(SHARD_KEY)
 
 
 def encode_message(message):

@@ -377,6 +377,119 @@ def test_backpressure_sheds_load_without_losing_acked_writes(flavour):
     assert len(acked) == 24  # every writer eventually got through
 
 
+class _ScriptedKV:
+    """A ``ClusterBackend`` double: ``submit`` plays back scripted KV
+    error strings and samples the limiter while the command is in
+    flight, so tests can pin exactly when slots are held."""
+
+    def __init__(self, limiter, errors):
+        self.limiter = limiter
+        self.errors = list(errors)
+        self.calls = []  # (command name, in_flight sampled during submit)
+
+    async def submit(self, name, timeout=None, **args):
+        self.calls.append((name, self.limiter.in_flight))
+        await asyncio.sleep(0)  # a real backend always yields the loop
+        import types
+
+        return types.SimpleNamespace(error=self.errors.pop(0), value=None)
+
+
+class TestUpsertAdmission:
+    """The upsert fallback chain must admit each leg separately and
+    report a lost race as 409, never 503 (503 means indeterminate)."""
+
+    def _put(self, app, key=1):
+        async def drive():
+            http = AsgiClient(app)
+            try:
+                return await http.put(
+                    f"/kv/{key}", json={"value": "v", "mode": "upsert"}
+                )
+            finally:
+                await http.aclose()
+
+        return asyncio.run(drive())
+
+    def test_upsert_admits_each_leg_separately(self):
+        limiter = InFlightLimiter(max_in_flight=1)
+        # update misses, the insert fallback wins.
+        backend = _ScriptedKV(limiter, ["err=1", None])
+        app = create_app(kv_backend=backend, limiter=limiter)
+        response = self._put(app)
+        assert response.status_code == 200
+        assert response.json()["applied"] == "insert"
+        assert [name for name, _ in backend.calls] == ["update", "insert"]
+        # One acquire per leg (the old code admitted once for the whole
+        # chain), each leg holding exactly one slot, all released.
+        assert limiter.stats()["admitted"] == 2
+        assert all(in_flight == 1 for _, in_flight in backend.calls)
+        assert limiter.in_flight == 0
+
+    def test_lost_upsert_race_is_409_not_503(self):
+        limiter = InFlightLimiter(max_in_flight=4)
+        # Racing deleters/inserters defeat all three legs.
+        backend = _ScriptedKV(limiter, ["err=1", "err=2", "err=1"])
+        app = create_app(kv_backend=backend, limiter=limiter)
+        response = self._put(app)
+        assert response.status_code == 409
+        assert [name for name, _ in backend.calls] == [
+            "update", "insert", "update"
+        ]
+        assert limiter.stats()["admitted"] == 3
+        assert limiter.in_flight == 0
+
+
+@pytest.mark.parametrize("flavour", RUNTIMES)
+def test_concurrent_upserts_share_a_tiny_window(flavour):
+    """16 upserters and 2 deleters race one key through a two-slot
+    window: every upsert must finish 200 (applied) or 409 (clean
+    conflict) — never 503 — and the window must drain to zero."""
+    statuses = []
+
+    async def backoff(response):
+        await asyncio.sleep(float(response.headers.get("retry-after", 0.01)))
+
+    async def upserter(http, index):
+        while True:
+            response = await http.put(
+                "/kv/9500", json={"value": f"u{index}", "mode": "upsert"}
+            )
+            if response.status_code == 429:
+                await backoff(response)
+                continue
+            statuses.append(response.status_code)
+            return
+
+    async def deleter(http):
+        for _ in range(6):
+            response = await http.delete("/kv/9500")
+            if response.status_code == 429:
+                await backoff(response)
+                continue
+            assert response.status_code in (200, 404), response.status_code
+
+    async def drive(app):
+        http = AsgiClient(app)
+        try:
+            await asyncio.gather(
+                *(upserter(http, index) for index in range(16)),
+                deleter(http),
+                deleter(http),
+            )
+            final = await http.get("/kv/9500")
+            assert final.status_code in (200, 404)
+        finally:
+            await http.aclose()
+
+    with make_kv_cluster(flavour, initial_keys=8) as cluster:
+        app = kv_app(cluster, max_in_flight=2)
+        asyncio.run(drive(app))
+        assert set(statuses) <= {200, 409}
+        assert statuses.count(200) >= 1
+        assert app.limiter.in_flight == 0
+
+
 def test_limiter_stats_track_rejections():
     with make_kv_cluster("threaded", initial_keys=8) as cluster:
         app = kv_app(cluster, max_in_flight=1)

@@ -15,8 +15,10 @@ from repro.loadgen import (
     LoadConfig,
     generate_client_ops,
     open_arrival_times,
+    parse_retry_after,
     run_load,
 )
+from repro.loadgen.runner import DEFAULT_RETRY_AFTER
 from repro.metrics.recorders import LatencyRecorder
 
 
@@ -43,6 +45,8 @@ class _FakeFrontend:
         self.calls = []
         self.concurrent = 0
         self.peak_concurrent = 0
+        #: Value served in the ``Retry-After`` header of 429 responses.
+        self.retry_after = "0.001"
 
     async def request(self, method, path, json=None):
         self.calls.append((method, path, json))
@@ -53,7 +57,7 @@ class _FakeFrontend:
         finally:
             self.concurrent -= 1
         status = self.statuses.pop(0) if self.statuses else 200
-        headers = {"retry-after": "0.001"} if status == 429 else {}
+        headers = {"retry-after": self.retry_after} if status == 429 else {}
         return _Response(status, headers)
 
 
@@ -111,6 +115,53 @@ class TestDeterministicSchedule:
             LoadConfig(read_fraction=1.5).validate()
         with pytest.raises(ConfigurationError):
             LoadConfig(arrival="open", open_rate=0).validate()
+        with pytest.raises(ConfigurationError):
+            LoadConfig(max_backoff=0.0).validate()
+
+
+# ----------------------------------------------------------------------
+# Retry-After parsing (the header crosses a trust boundary)
+# ----------------------------------------------------------------------
+class TestRetryAfterParsing:
+    def test_valid_values_pass_through(self):
+        assert parse_retry_after("0.25", 5.0) == pytest.approx(0.25)
+        assert parse_retry_after(2, 5.0) == pytest.approx(2.0)
+
+    def test_malformed_values_fall_back_to_default(self):
+        for raw in ("soon", "", "1.2.3", None, object()):
+            assert parse_retry_after(raw, 5.0) == DEFAULT_RETRY_AFTER
+
+    def test_non_finite_values_fall_back_to_default(self):
+        for raw in ("nan", "inf", "-inf", float("nan"), float("inf")):
+            assert parse_retry_after(raw, 5.0) == DEFAULT_RETRY_AFTER
+
+    def test_negative_values_clamp_to_zero(self):
+        assert parse_retry_after("-3", 5.0) == 0.0
+        assert parse_retry_after(-0.001, 5.0) == 0.0
+
+    def test_huge_values_clamp_to_max_backoff(self):
+        assert parse_retry_after("86400", 5.0) == 5.0
+        assert parse_retry_after("1e300", 0.5) == 0.5
+
+    def test_malformed_header_does_not_crash_the_rig(self):
+        # A server sending a word instead of seconds used to raise
+        # ValueError out of run_load; now the op retries on the default
+        # wait and completes.
+        fake = _FakeFrontend(delay=0.0, statuses=[429, 200])
+        fake.retry_after = "soon"
+        config = LoadConfig(clients=1, requests_per_client=1, seed=8)
+        result = asyncio.run(run_load(fake, config))
+        assert result.retries == 1
+        assert result.completed == 1
+
+    def test_huge_header_is_bounded_by_max_backoff(self):
+        fake = _FakeFrontend(delay=0.0, statuses=[429, 200])
+        fake.retry_after = "86400"  # a day, per RFC; absurd for this rig
+        config = LoadConfig(
+            clients=1, requests_per_client=1, seed=8, max_backoff=0.001
+        )
+        result = asyncio.run(run_load(fake, config))
+        assert result.completed == 1  # finished despite the day-long ask
 
 
 # ----------------------------------------------------------------------

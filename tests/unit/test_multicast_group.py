@@ -48,6 +48,36 @@ def test_normalize_rejects_empty_and_unknown_groups():
         layout.normalize_destinations([5])
 
 
+def test_normalize_rejects_every_empty_iterable_shape():
+    """An empty destination set would deliver the command nowhere and
+    silently drop it; every way of spelling 'empty' must raise.  This
+    validation is load-bearing for the dynamic ShardMap path: a buggy
+    router returning no groups must fail loudly at multicast time."""
+    layout = GroupLayout(4)
+    empties = (
+        [],
+        (),
+        set(),
+        frozenset(),
+        iter(()),                      # exhausted iterator
+        (g for g in range(0)),         # empty generator
+        {}.keys(),                     # empty dict view
+    )
+    for empty in empties:
+        with pytest.raises(ConfigurationError):
+            layout.normalize_destinations(empty)
+
+
+def test_normalize_accepts_nonempty_generator_and_frozenset():
+    """The same lazy shapes with members normalise like lists do."""
+    layout = GroupLayout(4)
+    assert layout.normalize_destinations(
+        (g for g in (2, 4))
+    ) == frozenset({2, 4})
+    assert layout.normalize_destinations(frozenset({1})) == frozenset({1})
+    assert layout.normalize_destinations({3}) == frozenset({3})
+
+
 def test_single_group_message_uses_its_own_stream():
     layout = GroupLayout(8)
     assert layout.stream_for_destinations(frozenset({5})) == 5

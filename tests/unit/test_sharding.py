@@ -1,0 +1,314 @@
+"""Unit tests for dynamic key-range sharding (ISSUE 10).
+
+Covers the shard map's validation and lookup, the load tracker and
+rebalance proposals, the router's atomic installs, the sequencer-side
+staleness check, the C-G integration, and the hand-off artifact's
+build-and-verify path.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    CheckpointError,
+    ConfigurationError,
+    StaleShardRouteError,
+)
+from repro.core.cg import CGFunction
+from repro.multicast.group import ALL_GROUPS
+from repro.multicast.sharding import (
+    HASH_SPACE,
+    ShardLoadTracker,
+    ShardMap,
+    ShardRouter,
+    build_shard_artifact,
+    group_loads,
+    propose_rebalance,
+    stable_key_hash,
+)
+from repro.runtime.multicast import LocalAtomicMulticast
+from repro.services.kvstore import KVSTORE_SPEC, KeyValueStoreServer
+
+
+# ----------------------------------------------------------------------
+# stable_key_hash
+# ----------------------------------------------------------------------
+def test_stable_hash_int_identity():
+    # Small non-negative ints map to themselves so an integer keyspace is
+    # contiguous in hash space — the key-range partition depends on it.
+    for key in (0, 1, 7, 4095, HASH_SPACE - 1):
+        assert stable_key_hash(key) == key
+
+
+def test_stable_hash_is_deterministic_across_types():
+    assert stable_key_hash("alpha") == stable_key_hash("alpha")
+    assert stable_key_hash(("a", 3)) == stable_key_hash(("a", 3))
+    assert stable_key_hash("alpha") != stable_key_hash("beta")
+    assert 0 <= stable_key_hash("anything") < HASH_SPACE
+
+
+def test_cg_shares_the_hash_implementation():
+    # Static and dynamic routing must agree on where a key lives.
+    assert CGFunction._stable_hash is stable_key_hash
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+def test_shard_map_validation():
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [], [])  # no ranges
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [5], [1])  # must start at 0
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [0, 10, 10], [1, 2, 3])  # not strictly increasing
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [0, HASH_SPACE], [1, 2])  # bound out of hash space
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [0, 10], [1])  # bounds/groups length mismatch
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [0], [0])  # group ids start at 1
+    with pytest.raises(ConfigurationError):
+        ShardMap(0, [0, 10], [1, 5], mpl=4)  # group exceeds mpl
+    with pytest.raises(ConfigurationError):
+        ShardMap(-1, [0], [1])  # negative version
+
+
+def test_initial_splits_the_key_space_evenly():
+    shard_map = ShardMap.initial(4, key_space=256)
+    assert shard_map.version == 0
+    assert shard_map.bounds == (0, 64, 128, 192)
+    assert shard_map.group_for_key(0) == 1
+    assert shard_map.group_for_key(63) == 1
+    assert shard_map.group_for_key(64) == 2
+    assert shard_map.group_for_key(255) == 4
+    # The last range extends to the end of hash space.
+    assert shard_map.group_for_hash(HASH_SPACE - 1) == 4
+
+
+def test_initial_without_key_space_splits_hash_space():
+    shard_map = ShardMap.initial(2)
+    assert shard_map.bounds == (0, HASH_SPACE // 2)
+    assert shard_map.ranges() == [
+        (0, HASH_SPACE // 2, 1),
+        (HASH_SPACE // 2, HASH_SPACE, 2),
+    ]
+
+
+def test_split_and_move_bump_versions():
+    shard_map = ShardMap.initial(2, key_space=100)
+    split = shard_map.split(25)
+    assert split.version == 1
+    assert split.bounds == (0, 25, 50)
+    assert split.groups == (1, 1, 2)
+    moved = split.move(25, 2)
+    assert moved.version == 2
+    assert moved.group_for_key(30) == 2
+    with pytest.raises(ConfigurationError):
+        split.split(25)  # already a boundary
+    with pytest.raises(ConfigurationError):
+        split.move(26, 2)  # not a range start
+
+
+def test_moved_ranges_are_coalesced():
+    old = ShardMap.initial(4, key_space=400)
+    new = old.split(50).move(50, 3)
+    assert new.moved_ranges(old) == [(50, 100, 1, 3)]
+    # Adjacent intervals moving between the same pair coalesce even when
+    # a boundary from the other map cuts through them.
+    merged = ShardMap(1, [0], [1])
+    moves = merged.moved_ranges(old)
+    assert moves == [(100, HASH_SPACE, 2, 1)] or all(
+        entry[3] == 1 for entry in moves
+    )
+
+
+def test_wire_round_trip():
+    shard_map = ShardMap.initial(3, key_space=99).split(10).move(10, 3)
+    clone = ShardMap.from_wire(shard_map.to_wire(), mpl=3)
+    assert clone == shard_map
+    with pytest.raises(ConfigurationError):
+        ShardMap.from_wire(shard_map.to_wire(), mpl=2)  # group 3 > mpl 2
+
+
+# ----------------------------------------------------------------------
+# Load tracking and rebalance proposals
+# ----------------------------------------------------------------------
+def test_tracker_counts_and_overflow():
+    tracker = ShardLoadTracker(max_tracked=2)
+    for _ in range(3):
+        tracker.record(1)
+    tracker.record(2)
+    tracker.record(3)  # over the limit: counted as untracked
+    assert tracker.snapshot() == {1: 3, 2: 1}
+    assert tracker.untracked == 1
+    tracker.reset()
+    assert tracker.snapshot() == {}
+    assert tracker.untracked == 0
+
+
+def test_propose_rebalance_flattens_skew():
+    shard_map = ShardMap.initial(4, key_space=400)
+    # All load on group 1's range.
+    counts = {h: 100 for h in range(0, 100, 5)}
+    proposal = propose_rebalance(shard_map, counts, 4, min_imbalance=1.25)
+    assert proposal is not None
+    assert proposal.version == shard_map.version + 1
+    before = group_loads(shard_map, counts)
+    after = group_loads(proposal, counts)
+    assert max(before.values()) == sum(counts.values())  # fully skewed
+    assert max(after.values()) < max(before.values()) / 2
+    assert len(after) == 4
+
+
+def test_propose_rebalance_none_cases():
+    shard_map = ShardMap.initial(4, key_space=400)
+    assert propose_rebalance(shard_map, {}, 4) is None  # no load
+    assert propose_rebalance(shard_map, {1: 5}, 1) is None  # mpl 1
+    balanced = {h: 1 for h in range(0, 400, 7)}  # even spread
+    assert propose_rebalance(shard_map, balanced, 4) is None
+
+
+def test_router_routes_records_and_installs():
+    router = ShardRouter(ShardMap.initial(2, key_space=100), 2)
+    group, version = router.route_hash(10)
+    assert (group, version) == (1, 0)
+    assert router.tracker.snapshot() == {10: 1}
+    successor = router.shard_map.split(25).move(25, 2)
+    router.install(successor)
+    assert router.route_hash(30)[0] == 2
+    with pytest.raises(ConfigurationError):
+        router.install(successor)  # version must advance
+    with pytest.raises(ConfigurationError):
+        ShardRouter(ShardMap(0, [0], [5]), 2)  # group exceeds mpl
+
+
+# ----------------------------------------------------------------------
+# C-G integration
+# ----------------------------------------------------------------------
+def test_cg_route_reports_shard_version():
+    router = ShardRouter(ShardMap.initial(4, key_space=256), 4)
+    cg = CGFunction(KVSTORE_SPEC, 4, router=router)
+    groups, version = cg.route("update", {"key": 5, "value": b"x"})
+    assert groups == frozenset({1}) and version == 0
+    assert cg.group_of_key(200) == 4
+    # Serial commands bypass the shard map entirely.
+    groups, version = cg.route("insert", {"key": 5, "value": b"x"})
+    assert groups is ALL_GROUPS and version is None
+    router.install(router.shard_map.move(128, 1))
+    groups, version = cg.route("update", {"key": 130, "value": b"x"})
+    assert groups == frozenset({1}) and version == 1
+
+
+def test_cg_without_router_keeps_modulo_rule():
+    cg = CGFunction(KVSTORE_SPEC, 4)
+    assert cg.group_of_key(6) == (6 % 4) + 1
+    groups, version = cg.route("update", {"key": 6, "value": b"x"})
+    assert groups == frozenset({3}) and version is None
+
+
+# ----------------------------------------------------------------------
+# Sequencer-side staleness check
+# ----------------------------------------------------------------------
+def test_multicast_rejects_stale_routings_before_sequencing():
+    multicast = LocalAtomicMulticast(2)
+    multicast.register_replica(0, range(1, 3))
+    before = multicast.latest_sequence()
+    with pytest.raises(StaleShardRouteError):
+        multicast.multicast(frozenset({1}), {"cmd": 1}, shard_version=7)
+    # The rejection happened before a sequence number was consumed.
+    assert multicast.latest_sequence() == before
+    assert multicast.stale_routings_rejected == 1
+    # Matching versions pass.
+    multicast.multicast(frozenset({1}), {"cmd": 1}, shard_version=0)
+    assert multicast.latest_sequence() == before + 1
+
+
+def test_shard_update_advances_version_atomically():
+    multicast = LocalAtomicMulticast(2)
+    multicast.register_replica(0, range(1, 3))
+    router = ShardRouter(ShardMap.initial(2, key_space=100), 2)
+    multicast.shard_router = router
+    new_map = router.shard_map.split(25).move(25, 2)
+    multicast.multicast_shard_update({"update": 0}, new_map)
+    assert multicast.shard_version == new_map.version == 2
+    assert router.shard_map == new_map
+    with pytest.raises(StaleShardRouteError):
+        multicast.multicast(frozenset({1}), {"cmd": 2}, shard_version=0)
+    with pytest.raises(ConfigurationError):
+        multicast.multicast_shard_update({"update": 1}, new_map)  # stale map
+
+
+# ----------------------------------------------------------------------
+# Hand-off artifacts
+# ----------------------------------------------------------------------
+def _kv_with_chain():
+    """A KV service plus a realistic full+delta checkpoint chain."""
+    service = KeyValueStoreServer()
+    for key in range(16):
+        service.execute("insert", {"key": key, "value": key.to_bytes(2, "big")})
+    chain = [{"kind": "full", "sequence": 15, "payload": service.checkpoint()}]
+    for key in range(4, 8):
+        service.execute("update", {"key": key, "value": b"\xff\xff"})
+    service.execute("delete", {"key": 12})
+    chain.append(
+        {"kind": "delta", "sequence": 20, "payload": service.delta_checkpoint()}
+    )
+    # Live tail past the chain tip, captured by the artifact's own delta.
+    service.execute("insert", {"key": 2048, "value": b"tail"})
+    return service, chain
+
+
+def test_artifact_covers_exactly_the_moved_ranges():
+    service, chain = _kv_with_chain()
+    moved = [(4, 8, 1, 2), (2000, 2100, 2, 1)]
+    artifact = build_shard_artifact(
+        service, chain, moved, service_factory=KeyValueStoreServer
+    )
+    assert artifact["verified"] is True
+    assert artifact["keys"] == 5  # keys 4..7 plus the live-tail 2048
+    restored = KeyValueStoreServer()
+    from repro.common.checkpoint import restore_chain
+
+    restore_chain(restored, artifact["chain"])
+    assert restored.snapshot() == {
+        **{key: b"\xff\xff" for key in range(4, 8)},
+        2048: b"tail",
+    }
+    assert artifact["bytes"] > 0
+    assert artifact["ranges"] == [tuple(entry) for entry in moved]
+
+
+def test_artifact_without_chain_filters_the_full_state():
+    service = KeyValueStoreServer()
+    for key in (1, 5, 9):
+        service.execute("insert", {"key": key, "value": b"v"})
+    artifact = build_shard_artifact(
+        service, [], [(0, 6, 1, 2)], service_factory=KeyValueStoreServer
+    )
+    assert artifact["verified"] is True
+    assert artifact["entries"] == 1
+    assert artifact["keys"] == 2  # keys 1 and 5; 9 stays behind
+
+
+def test_artifact_filters_deletions_into_the_moved_ranges():
+    service, chain = _kv_with_chain()
+    artifact = build_shard_artifact(
+        service, chain, [(10, 14, 1, 3)],
+        service_factory=KeyValueStoreServer,
+    )
+    assert artifact["verified"] is True
+    restored = KeyValueStoreServer()
+    from repro.common.checkpoint import restore_chain
+
+    restore_chain(restored, artifact["chain"])
+    # Key 12 was deleted after the full checkpoint: the filtered delta
+    # must carry that deletion into the artifact.
+    assert 12 not in restored.snapshot()
+    assert set(restored.snapshot()) == {10, 11, 13}
+
+
+def test_artifact_rejects_unknown_payload_shapes():
+    service = KeyValueStoreServer()
+    chain = [{"kind": "full", "sequence": 0, "payload": {"blob": b"opaque"}}]
+    with pytest.raises(CheckpointError):
+        build_shard_artifact(service, chain, [(0, 10, 1, 2)])

@@ -64,6 +64,61 @@ def test_zipfian_large_keyspace_constructs_quickly():
     assert 0 <= dist.next_key() < 10_000_000
 
 
+def test_zipfian_singleton_keyspace_always_yields_zero():
+    """key_space=1 is a degenerate but legal boundary: every draw is 0.
+
+    The shard rebalancer divides load estimates by per-range key counts,
+    so the generators must behave at the smallest range size."""
+    for scramble in (False, True):
+        dist = ZipfianKeys(1, theta=1.0, rng=SeededRNG(11), scramble=scramble)
+        assert [dist.next_key() for _ in range(200)] == [0] * 200
+    uniform = UniformKeys(1, rng=SeededRNG(11))
+    assert [uniform.next_key() for _ in range(200)] == [0] * 200
+
+
+def test_zipfian_small_theta_approaches_uniform():
+    """As theta → 0 the zipfian top-rank share must fall toward the
+    uniform share (1/key_space); a broken CDF would keep it spiked."""
+    dist = ZipfianKeys(100, theta=0.05, rng=SeededRNG(12), scramble=False)
+    ranks = [dist.next_rank() for _ in range(20_000)]
+    top_share = ranks.count(0) / len(ranks)
+    assert top_share < 0.05  # uniform share is 0.01; theta=1 gives ~0.19
+    # ...while a strongly skewed run over the same keyspace stays spiked.
+    skewed = ZipfianKeys(100, theta=1.0, rng=SeededRNG(12), scramble=False)
+    skewed_ranks = [skewed.next_rank() for _ in range(20_000)]
+    assert skewed_ranks.count(0) / len(skewed_ranks) > top_share * 2
+
+
+def test_distributions_are_deterministic_under_fixed_seed():
+    """Same seed, same stream — for both distributions and both zipfian
+    scramble modes (the rebalancer's skew estimates rely on this)."""
+    def draw(factory):
+        return [factory().next_key() for _ in range(500)]
+
+    assert draw(lambda: UniformKeys(1000, rng=SeededRNG(13))) == draw(
+        lambda: UniformKeys(1000, rng=SeededRNG(13))
+    )
+    for scramble in (False, True):
+        assert draw(
+            lambda: ZipfianKeys(
+                1000, theta=0.8, rng=SeededRNG(14), scramble=scramble
+            )
+        ) == draw(
+            lambda: ZipfianKeys(
+                1000, theta=0.8, rng=SeededRNG(14), scramble=scramble
+            )
+        )
+    # Different seeds must not collide into the same stream.
+    assert draw(lambda: ZipfianKeys(1000, theta=0.8, rng=SeededRNG(14))) != draw(
+        lambda: ZipfianKeys(1000, theta=0.8, rng=SeededRNG(15))
+    )
+
+
+def test_zipfian_rejects_empty_keyspace():
+    with pytest.raises(ConfigurationError):
+        ZipfianKeys(0)
+
+
 def test_make_distribution_factory():
     assert isinstance(make_distribution("uniform", 10), UniformKeys)
     assert isinstance(make_distribution("zipfian", 10), ZipfianKeys)
